@@ -1,0 +1,102 @@
+// Ablation A5: tail latency of lookups under writer interference.
+//
+// The paper's differentiator is *how* contains is implemented, not just
+// its mean cost: the logical-ordering lookup is lock-free and never
+// restarts (one descent + a bounded ordering walk), while optimistic
+// designs (BCCO) retry on version changes and lock-based readers can wait.
+// Means hide this; tails show it. A reader samples per-op contains()
+// latency while writers churn; we report p50 / p99 / p99.9 / max.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "baselines/bronson/bronson.hpp"
+#include "baselines/cf/cf_tree.hpp"
+#include "baselines/coarse/coarse_map.hpp"
+#include "baselines/skiplist/skiplist.hpp"
+#include "lo/avl.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+using K = std::int64_t;
+using V = std::int64_t;
+
+namespace {
+
+template <typename MapT>
+void run_one(const char* label, std::int64_t range, int samples,
+             int writers) {
+  MapT map;
+  lot::util::Xoshiro256 fill(1);
+  for (std::int64_t i = 0; i < range / 2; ++i) {
+    map.insert(fill.next_in(0, range - 1), i);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  for (int w = 0; w < writers; ++w) {
+    churn.emplace_back([&, w] {
+      lot::util::Xoshiro256 rng(100 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const K k = rng.next_in(0, range - 1);
+        if (rng.percent(50)) {
+          map.insert(k, k);
+        } else {
+          map.erase(k);
+        }
+      }
+    });
+  }
+
+  std::vector<double> lat;
+  lat.reserve(samples);
+  lot::util::Xoshiro256 rng(7);
+  std::uint64_t sink = 0;
+  for (int i = 0; i < samples; ++i) {
+    const K k = rng.next_in(0, range - 1);
+    lot::util::Stopwatch watch;
+    sink += map.contains(k);
+    lat.push_back(static_cast<double>(watch.elapsed_nanos()));
+  }
+  stop = true;
+  for (auto& th : churn) th.join();
+  if (sink == 0xdeadbeef) std::printf("!");
+
+  std::printf("  %-22s p50 %8.0f ns   p99 %9.0f ns   p99.9 %9.0f ns   "
+              "max %10.0f ns\n",
+              label, lot::util::percentile(lat, 50),
+              lot::util::percentile(lat, 99),
+              lot::util::percentile(lat, 99.9),
+              lot::util::percentile(lat, 100));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lot::util::Cli cli(argc, argv);
+  const std::int64_t range = cli.get_int("range", 100'000);
+  const int samples = static_cast<int>(cli.get_int("samples", 200'000));
+  const int writers = static_cast<int>(cli.get_int("writers", 2));
+
+  std::printf("=== Ablation A5: contains() latency tails under %d churning "
+              "writers (range %lld) ===\n",
+              writers, static_cast<long long>(range));
+  std::printf("(single-core container: extreme tails include scheduler "
+              "preemption for every structure;\n the comparison is "
+              "relative)\n\n");
+  run_one<lot::lo::AvlMap<K, V>>("lo-avl (lock-free)", range, samples,
+                                 writers);
+  run_one<lot::baselines::BronsonMap<K, V>>("bronson (optimistic)", range,
+                                            samples, writers);
+  run_one<lot::baselines::SkipListMap<K, V>>("lf-skiplist", range, samples,
+                                             writers);
+  run_one<lot::baselines::CfTreeMap<K, V>>("crain-cf-tree", range, samples,
+                                           writers);
+  run_one<lot::baselines::CoarseMap<K, V>>("coarse-std-map (lock)", range,
+                                           samples, writers);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared scaffolding for the table benchmarks: runs one throughput series
+// (threads sweep) per implementation per (mix, key-range) cell and prints
+// the same rows the paper's Tables 1 and 2 plot.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "workload/driver.hpp"
+#include "workload/spec.hpp"
+
+namespace lot::bench {
+
+struct TableConfig {
+  std::vector<std::int64_t> threads;
+  std::vector<std::int64_t> key_ranges;
+  std::vector<workload::Mix> mixes;
+  double secs = 0.3;
+  int repeats = 1;
+  std::uint64_t seed = 42;
+
+  static TableConfig from_cli(const util::Cli& cli) {
+    TableConfig cfg;
+    if (cli.has("paper")) {
+      // The paper's full grid: 1..256 threads, 5 s trials, 8 repeats,
+      // ranges 2e4 / 2e5 / 2e6. Expect hours of runtime.
+      cfg.threads = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+      cfg.key_ranges = workload::paper_key_ranges();
+      cfg.secs = 5.0;
+      cfg.repeats = 8;
+    } else {
+      cfg.threads = {1, 2, 4, 8};
+      cfg.key_ranges = {20'000, 200'000};
+    }
+    cfg.threads = cli.get_int_list("threads", cfg.threads);
+    cfg.key_ranges = cli.get_int_list("ranges", cfg.key_ranges);
+    cfg.secs = cli.get_double("secs", cfg.secs);
+    cfg.repeats = static_cast<int>(cli.get_int("repeats", cfg.repeats));
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    return cfg;
+  }
+};
+
+/// One implementation's throughput series across the thread sweep.
+template <typename MapT>
+std::vector<double> run_series(const workload::Spec& spec,
+                               const TableConfig& cfg) {
+  std::vector<double> out;
+  for (const auto threads : cfg.threads) {
+    double best = 0;
+    double sum = 0;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+      MapT map;
+      const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(rep);
+      workload::prefill(map, spec, static_cast<unsigned>(threads), seed);
+      const auto r = workload::run_trial(
+          map, spec, static_cast<unsigned>(threads), cfg.secs, seed + 1);
+      sum += r.mops_per_sec;
+      if (r.mops_per_sec > best) best = r.mops_per_sec;
+    }
+    out.push_back(sum / cfg.repeats);
+  }
+  return out;
+}
+
+inline void print_cell_header(const std::string& table,
+                              const workload::Spec& spec) {
+  std::printf("\n=== %s | workload %s | key range %lld | prefill %lld ===\n",
+              table.c_str(), spec.name.c_str(),
+              static_cast<long long>(spec.key_range),
+              static_cast<long long>(spec.prefill_target()));
+}
+
+inline void print_series_table(
+    const std::vector<std::int64_t>& threads,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+  std::printf("%8s", "threads");
+  for (const auto& [name, _] : series) std::printf("  %26s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    std::printf("%8lld", static_cast<long long>(threads[i]));
+    for (const auto& [_, values] : series) {
+      std::printf("  %20.3f Mop/s", values[i]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace lot::bench

@@ -1,0 +1,115 @@
+// M1: google-benchmark micro latencies of the individual operations on
+// every implementation, on a prefilled structure (single-threaded; the
+// multi-threaded throughput story lives in table1/table2).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "baselines/bronson/bronson.hpp"
+#include "baselines/cf/cf_tree.hpp"
+#include "baselines/chromatic/chromatic.hpp"
+#include "baselines/coarse/coarse_map.hpp"
+#include "baselines/efrb/efrb.hpp"
+#include "baselines/hj/hj_tree.hpp"
+#include "baselines/skiplist/skiplist.hpp"
+#include "lo/avl.hpp"
+#include "lo/bst.hpp"
+#include "lo/partial.hpp"
+#include "seq/avl.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using K = std::int64_t;
+using V = std::int64_t;
+constexpr std::int64_t kRange = 100'000;
+
+using LoAvl = lot::lo::AvlMap<K, V>;
+using LoBst = lot::lo::BstMap<K, V>;
+using LoPartialAvl = lot::lo::PartialAvlMap<K, V>;
+using Bronson = lot::baselines::BronsonMap<K, V>;
+using CfTree = lot::baselines::CfTreeMap<K, V>;
+using SkipList = lot::baselines::SkipListMap<K, V>;
+using Efrb = lot::baselines::EfrbMap<K, V>;
+using Chromatic = lot::baselines::ChromaticMap<K, V>;
+using HjTree = lot::baselines::HjTreeMap<K, V>;
+using Coarse = lot::baselines::CoarseMap<K, V>;
+using SeqAvl = lot::seq::AvlMap<K, V>;
+
+template <typename MapT>
+void prefill_half(MapT& map) {
+  lot::util::Xoshiro256 rng(1);
+  for (std::int64_t i = 0; i < kRange / 2; ++i) {
+    map.insert(rng.next_in(0, kRange - 1), i);
+  }
+}
+
+template <typename MapT>
+void BM_Contains(benchmark::State& state) {
+  MapT map;
+  prefill_half(map);
+  lot::util::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.contains(rng.next_in(0, kRange - 1)));
+  }
+}
+
+template <typename MapT>
+void BM_Get(benchmark::State& state) {
+  MapT map;
+  prefill_half(map);
+  lot::util::Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.get(rng.next_in(0, kRange - 1)));
+  }
+}
+
+template <typename MapT>
+void BM_InsertErase(benchmark::State& state) {
+  MapT map;
+  prefill_half(map);
+  lot::util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const K k = rng.next_in(0, kRange - 1);
+    if (rng.percent(50)) {
+      benchmark::DoNotOptimize(map.insert(k, k));
+    } else {
+      benchmark::DoNotOptimize(map.erase(k));
+    }
+  }
+}
+
+BENCHMARK(BM_Contains<LoAvl>)->Name("contains/lo-avl");
+BENCHMARK(BM_Contains<LoBst>)->Name("contains/lo-bst");
+BENCHMARK(BM_Contains<LoPartialAvl>)->Name("contains/lo-avl-logical-removing");
+BENCHMARK(BM_Contains<Bronson>)->Name("contains/bronson-bcco-avl");
+BENCHMARK(BM_Contains<CfTree>)->Name("contains/crain-cf-tree");
+BENCHMARK(BM_Contains<SkipList>)->Name("contains/lf-skiplist");
+BENCHMARK(BM_Contains<Efrb>)->Name("contains/efrb-external-bst");
+BENCHMARK(BM_Contains<Chromatic>)->Name("contains/chromatic6-style");
+BENCHMARK(BM_Contains<HjTree>)->Name("contains/howley-jones-internal");
+BENCHMARK(BM_Contains<Coarse>)->Name("contains/coarse-std-map");
+BENCHMARK(BM_Contains<SeqAvl>)->Name("contains/seq-avl");
+
+BENCHMARK(BM_Get<LoAvl>)->Name("get/lo-avl");
+BENCHMARK(BM_Get<LoBst>)->Name("get/lo-bst");
+BENCHMARK(BM_Get<Bronson>)->Name("get/bronson-bcco-avl");
+BENCHMARK(BM_Get<SkipList>)->Name("get/lf-skiplist");
+BENCHMARK(BM_Get<Efrb>)->Name("get/efrb-external-bst");
+
+BENCHMARK(BM_InsertErase<LoAvl>)->Name("insert_erase/lo-avl");
+BENCHMARK(BM_InsertErase<LoBst>)->Name("insert_erase/lo-bst");
+BENCHMARK(BM_InsertErase<LoPartialAvl>)
+    ->Name("insert_erase/lo-avl-logical-removing");
+BENCHMARK(BM_InsertErase<Bronson>)->Name("insert_erase/bronson-bcco-avl");
+BENCHMARK(BM_InsertErase<CfTree>)->Name("insert_erase/crain-cf-tree");
+BENCHMARK(BM_InsertErase<SkipList>)->Name("insert_erase/lf-skiplist");
+BENCHMARK(BM_InsertErase<Efrb>)->Name("insert_erase/efrb-external-bst");
+BENCHMARK(BM_InsertErase<Chromatic>)->Name("insert_erase/chromatic6-style");
+BENCHMARK(BM_InsertErase<HjTree>)->Name("insert_erase/howley-jones-internal");
+BENCHMARK(BM_InsertErase<Coarse>)->Name("insert_erase/coarse-std-map");
+BENCHMARK(BM_InsertErase<SeqAvl>)->Name("insert_erase/seq-avl");
+
+}  // namespace
+
+BENCHMARK_MAIN();

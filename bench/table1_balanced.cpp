@@ -1,0 +1,65 @@
+// Table 1 of the paper: throughput of the *balanced* concurrent maps under
+// the three operation mixes and three key ranges, across a thread sweep.
+//
+// Series (matching the paper's legend):
+//   lo-avl                    — our logical-ordering AVL (the contribution)
+//   lo-avl-logical-removing   — its partially-external variation
+//   bronson-bcco-avl          — Bronson et al. (PPoPP'10)
+//   crain-cf-tree             — Crain et al. contention-friendly tree
+//   lf-skiplist               — Fraser/Harris lock-free skip list
+//   chromatic6-style-llxscx   — Brown et al. chromatic-style LLX/SCX tree
+//
+// Default parameters are container-sized; pass --paper for the full grid
+// (5 s trials, 8 repeats, ranges up to 2e6, threads to 256), or override
+// with --threads=, --ranges=, --secs=, --repeats=, --seed=.
+#include <cstdint>
+
+#include "baselines/bronson/bronson.hpp"
+#include "baselines/cf/cf_tree.hpp"
+#include "baselines/chromatic/chromatic.hpp"
+#include "baselines/skiplist/skiplist.hpp"
+#include "bench/common.hpp"
+#include "lo/avl.hpp"
+#include "lo/partial.hpp"
+#include "util/cli.hpp"
+
+using K = std::int64_t;
+using V = std::int64_t;
+
+int main(int argc, char** argv) {
+  lot::util::Cli cli(argc, argv);
+  const auto cfg = lot::bench::TableConfig::from_cli(cli);
+
+  for (const auto range : cfg.key_ranges) {
+    for (const auto mix :
+         {lot::workload::Mix::k50C25I25R, lot::workload::Mix::k70C20I10R,
+          lot::workload::Mix::k100C}) {
+      const auto spec = lot::workload::make_spec(mix, range);
+      lot::bench::print_cell_header("Table 1 (balanced)", spec);
+      std::vector<std::pair<std::string, std::vector<double>>> series;
+      series.emplace_back(
+          "lo-avl",
+          lot::bench::run_series<lot::lo::AvlMap<K, V>>(spec, cfg));
+      series.emplace_back(
+          "lo-avl-logical-removing",
+          lot::bench::run_series<lot::lo::PartialAvlMap<K, V>>(spec, cfg));
+      series.emplace_back(
+          "bronson-bcco-avl",
+          lot::bench::run_series<lot::baselines::BronsonMap<K, V>>(spec,
+                                                                   cfg));
+      series.emplace_back(
+          "crain-cf-tree",
+          lot::bench::run_series<lot::baselines::CfTreeMap<K, V>>(spec, cfg));
+      series.emplace_back(
+          "lf-skiplist",
+          lot::bench::run_series<lot::baselines::SkipListMap<K, V>>(spec,
+                                                                    cfg));
+      series.emplace_back(
+          "chromatic6-style-llxscx",
+          lot::bench::run_series<lot::baselines::ChromaticMap<K, V>>(spec,
+                                                                     cfg));
+      lot::bench::print_series_table(cfg.threads, series);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 2 of the paper: throughput of the *unbalanced* maps under the
+// 70C-20I-10R and 100C-0I-0R mixes (the paper notes 50C-25I-25R behaves
+// like 70C-20I-10R; pass --all-mixes to run it anyway).
+//
+// Series:
+//   lo-bst                    — our logical-ordering BST (the contribution)
+//   lo-bst-logical-removing   — its partially-external variation
+//   efrb-external-bst         — Ellen et al. non-blocking external BST
+//   howley-jones-internal     — HJ non-blocking internal BST (§7; the
+//                               key-copying alternative to logical order)
+#include <cstdint>
+
+#include "baselines/efrb/efrb.hpp"
+#include "baselines/hj/hj_tree.hpp"
+#include "bench/common.hpp"
+#include "lo/bst.hpp"
+#include "lo/partial.hpp"
+#include "util/cli.hpp"
+
+using K = std::int64_t;
+using V = std::int64_t;
+
+int main(int argc, char** argv) {
+  lot::util::Cli cli(argc, argv);
+  const auto cfg = lot::bench::TableConfig::from_cli(cli);
+
+  std::vector<lot::workload::Mix> mixes = {lot::workload::Mix::k70C20I10R,
+                                           lot::workload::Mix::k100C};
+  if (cli.has("all-mixes")) {
+    mixes.insert(mixes.begin(), lot::workload::Mix::k50C25I25R);
+  }
+
+  for (const auto range : cfg.key_ranges) {
+    for (const auto mix : mixes) {
+      const auto spec = lot::workload::make_spec(mix, range);
+      lot::bench::print_cell_header("Table 2 (unbalanced)", spec);
+      std::vector<std::pair<std::string, std::vector<double>>> series;
+      series.emplace_back(
+          "lo-bst",
+          lot::bench::run_series<lot::lo::BstMap<K, V>>(spec, cfg));
+      series.emplace_back(
+          "lo-bst-logical-removing",
+          lot::bench::run_series<lot::lo::PartialBstMap<K, V>>(spec, cfg));
+      series.emplace_back(
+          "efrb-external-bst",
+          lot::bench::run_series<lot::baselines::EfrbMap<K, V>>(spec, cfg));
+      series.emplace_back(
+          "howley-jones-internal",
+          lot::bench::run_series<lot::baselines::HjTreeMap<K, V>>(spec,
+                                                                  cfg));
+      lot::bench::print_series_table(cfg.threads, series);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// The uniform interface every implementation in this repository satisfies,
+// expressed as a C++20 concept. Tests, benchmarks, and examples are
+// templated over this concept, so every tree is exercised by the same
+// code paths.
+#pragma once
+
+#include <concepts>
+#include <optional>
+#include <string_view>
+
+namespace lot::adapters {
+
+template <typename M>
+concept ConcurrentMap = requires(M m, const M cm,
+                                 const typename M::key_type& k,
+                                 const typename M::mapped_type& v) {
+  typename M::key_type;
+  typename M::mapped_type;
+  { m.insert(k, v) } -> std::same_as<bool>;
+  { m.erase(k) } -> std::same_as<bool>;
+  { cm.contains(k) } -> std::same_as<bool>;
+  { cm.get(k) } -> std::same_as<std::optional<typename M::mapped_type>>;
+  { M::name() } -> std::convertible_to<std::string_view>;
+};
+
+/// Maps that additionally support ordered access (min/max/for_each); the
+/// skip list and all the trees do, hash-style baselines would not.
+template <typename M>
+concept OrderedMap = ConcurrentMap<M> && requires(const M cm) {
+  cm.min();
+  cm.max();
+};
+
+}  // namespace lot::adapters

@@ -1,0 +1,604 @@
+// The BCCO tree: Bronson, Casper, Chafi, Olukotun, "A Practical Concurrent
+// Binary Search Tree" (PPoPP 2010) — the lock-based, partially-external,
+// relaxed-AVL competitor of Table 1.
+//
+// Core mechanism: optimistic hand-over-hand descent validated by per-node
+// version words (OVLs). A node that is about to move down in a rotation or
+// be unlinked enters a "shrinking" state (version |= kShrinking); readers
+// that descended through it wait for the change to finish and re-validate
+// against the parent's version, retrying the step if it changed. Nodes are
+// partially external: a two-children removal only clears the value
+// (leaving a routing node); routing nodes are unlinked when their child
+// count drops, and an insert of the same key revives them in place.
+//
+// Reclamation: unlinked nodes are retired through EBR (readers may still
+// hold references from an optimistic descent).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "reclaim/ebr.hpp"
+#include "sync/backoff.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lot::baselines {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class BronsonMap {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "values live in an atomic slot (routing nodes can be "
+                "revived concurrently with lock-free gets)");
+
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  explicit BronsonMap(reclaim::EbrDomain& domain =
+                          reclaim::EbrDomain::global_domain(),
+                      Compare comp = Compare())
+      : domain_(&domain), comp_(std::move(comp)) {
+    // Root holder: a sentinel that never shrinks and never holds a key;
+    // the real tree hangs off its right child (every key is "greater"
+    // than the holder).
+    root_holder_ = reclaim::make_counted<Node>(K{}, V{});
+    root_holder_->present.store(false, std::memory_order_relaxed);
+  }
+
+  ~BronsonMap() { destroy(root_holder_); }
+
+  BronsonMap(const BronsonMap&) = delete;
+  BronsonMap& operator=(const BronsonMap&) = delete;
+
+  static std::string_view name() { return "bronson-bcco-avl"; }
+
+  bool contains(const K& k) const { return get(k).has_value(); }
+
+  std::optional<V> get(const K& k) const {
+    auto g = domain_->guard();
+    for (;;) {
+      Node* right = root_holder_->right.load(std::memory_order_acquire);
+      if (right == nullptr) return std::nullopt;
+      const std::uint64_t ovl = right->version.load(std::memory_order_acquire);
+      if (is_changing_or_unlinked(ovl)) {
+        wait_until_not_changing(right);
+        continue;
+      }
+      if (right != root_holder_->right.load(std::memory_order_acquire)) {
+        continue;
+      }
+      AttemptResult r = attempt_get(k, right, ovl);
+      if (!r.retry) return r.value;
+    }
+  }
+
+  bool insert(const K& k, const V& v) {
+    auto g = domain_->guard();
+    for (;;) {
+      Node* right = root_holder_->right.load(std::memory_order_acquire);
+      if (right == nullptr) {
+        // Empty tree: install the first node under the holder's lock.
+        std::lock_guard<sync::SpinLock> lg(root_holder_->lock);
+        if (root_holder_->right.load(std::memory_order_relaxed) != nullptr) {
+          continue;
+        }
+        Node* nn = reclaim::make_counted<Node>(k, v);
+        nn->parent.store(root_holder_, std::memory_order_relaxed);
+        root_holder_->right.store(nn, std::memory_order_release);
+        return true;
+      }
+      const std::uint64_t ovl = right->version.load(std::memory_order_acquire);
+      if (is_changing_or_unlinked(ovl)) {
+        wait_until_not_changing(right);
+        continue;
+      }
+      if (right != root_holder_->right.load(std::memory_order_acquire)) {
+        continue;
+      }
+      AttemptResult r = attempt_insert(k, v, right, ovl);
+      if (!r.retry) return r.success;
+    }
+  }
+
+  bool erase(const K& k) {
+    auto g = domain_->guard();
+    for (;;) {
+      Node* right = root_holder_->right.load(std::memory_order_acquire);
+      if (right == nullptr) return false;
+      const std::uint64_t ovl = right->version.load(std::memory_order_acquire);
+      if (is_changing_or_unlinked(ovl)) {
+        wait_until_not_changing(right);
+        continue;
+      }
+      if (right != root_holder_->right.load(std::memory_order_acquire)) {
+        continue;
+      }
+      AttemptResult r = attempt_erase(k, right, ovl);
+      if (!r.retry) return r.success;
+    }
+  }
+
+  std::optional<std::pair<K, V>> min() const {
+    return extreme(/*left=*/true);
+  }
+  std::optional<std::pair<K, V>> max() const {
+    return extreme(/*left=*/false);
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    auto g = domain_->guard();
+    visit(root_holder_->right.load(std::memory_order_acquire), fn);
+  }
+
+  std::size_t size_slow() const {
+    std::size_t n = 0;
+    for_each([&n](const K&, const V&) { ++n; });
+    return n;
+  }
+
+  bool empty() const { return size_slow() == 0; }
+
+  /// Physical nodes including routing "zombies" (for the memory ablation).
+  std::size_t physical_nodes_slow() const {
+    auto g = domain_->guard();
+    std::size_t n = 0;
+    count_nodes(root_holder_->right.load(std::memory_order_acquire), n);
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t kUnlinked = 0x1;
+  static constexpr std::uint64_t kShrinking = 0x2;
+  static constexpr std::uint64_t kShrinkIncr = 0x4;
+
+  struct Node {
+    const K key;
+    std::atomic<V> value;
+    std::atomic<bool> present{true};  // false = routing node
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::int32_t> height{1};
+    std::atomic<Node*> parent{nullptr};
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+    sync::SpinLock lock;
+
+    Node(K k, V v) : key(std::move(k)), value(v) {}
+  };
+
+  struct AttemptResult {
+    bool retry = false;
+    bool success = false;
+    std::optional<V> value;
+    static AttemptResult Retry() { return {true, false, std::nullopt}; }
+  };
+
+  static bool is_changing_or_unlinked(std::uint64_t v) {
+    return (v & (kShrinking | kUnlinked)) != 0;
+  }
+
+  static void wait_until_not_changing(const Node* n) {
+    sync::Backoff backoff;
+    while (n->version.load(std::memory_order_acquire) & kShrinking) {
+      backoff.pause();
+    }
+  }
+
+  int cmp(const K& a, const K& b) const {
+    if (comp_(a, b)) return -1;
+    if (comp_(b, a)) return 1;
+    return 0;
+  }
+
+  static std::int32_t height_of(const Node* n) {
+    return n == nullptr ? 0 : n->height.load(std::memory_order_relaxed);
+  }
+
+  // ---- optimistic descent -------------------------------------------
+
+  /// Hand-over-hand versioned descent (the paper's attemptGet). `node` was
+  /// read under version `node_ovl`, which the caller has validated.
+  AttemptResult attempt_get(const K& k, Node* node,
+                            std::uint64_t node_ovl) const {
+    for (;;) {
+      const int c = cmp(k, node->key);
+      if (c == 0) {
+        AttemptResult r;
+        const V v = node->value.load(std::memory_order_acquire);
+        if (node->present.load(std::memory_order_acquire)) r.value = v;
+        // Matching-key reads linearize on the present/value load; no
+        // version check needed (keys never move in this tree).
+        return r;
+      }
+      Node* child = c < 0 ? node->left.load(std::memory_order_acquire)
+                          : node->right.load(std::memory_order_acquire);
+      if (child == nullptr) {
+        if (node->version.load(std::memory_order_acquire) != node_ovl) {
+          return AttemptResult::Retry();
+        }
+        return {};  // miss, validated
+      }
+      const std::uint64_t child_ovl =
+          child->version.load(std::memory_order_acquire);
+      if (is_changing_or_unlinked(child_ovl)) {
+        wait_until_not_changing(child);
+        if (node->version.load(std::memory_order_acquire) != node_ovl) {
+          return AttemptResult::Retry();
+        }
+        continue;  // re-read the child pointer
+      }
+      // The child link and our node's version must both still hold.
+      if (child != (c < 0 ? node->left.load(std::memory_order_acquire)
+                          : node->right.load(std::memory_order_acquire))) {
+        if (node->version.load(std::memory_order_acquire) != node_ovl) {
+          return AttemptResult::Retry();
+        }
+        continue;
+      }
+      if (node->version.load(std::memory_order_acquire) != node_ovl) {
+        return AttemptResult::Retry();
+      }
+      node = child;
+      node_ovl = child_ovl;
+    }
+  }
+
+  AttemptResult attempt_insert(const K& k, const V& v, Node* node,
+                               std::uint64_t node_ovl) {
+    for (;;) {
+      const int c = cmp(k, node->key);
+      if (c == 0) {
+        // Key node exists: revive it if it is a routing node.
+        std::lock_guard<sync::SpinLock> lg(node->lock);
+        if (node->version.load(std::memory_order_relaxed) & kUnlinked) {
+          return AttemptResult::Retry();
+        }
+        AttemptResult r;
+        if (node->present.load(std::memory_order_relaxed)) {
+          r.success = false;  // already present
+        } else {
+          node->value.store(v, std::memory_order_relaxed);
+          node->present.store(true, std::memory_order_release);
+          r.success = true;
+        }
+        return r;
+      }
+      auto& slot = c < 0 ? node->left : node->right;
+      Node* child = slot.load(std::memory_order_acquire);
+      if (child == nullptr) {
+        // Candidate attachment point.
+        {
+          std::lock_guard<sync::SpinLock> lg(node->lock);
+          if (node->version.load(std::memory_order_relaxed) != node_ovl) {
+            return AttemptResult::Retry();
+          }
+          if (slot.load(std::memory_order_relaxed) != nullptr) {
+            continue;  // someone attached here first; re-descend this node
+          }
+          Node* nn = reclaim::make_counted<Node>(k, v);
+          nn->parent.store(node, std::memory_order_relaxed);
+          slot.store(nn, std::memory_order_release);
+        }
+        fix_height_and_rebalance(node);
+        AttemptResult r;
+        r.success = true;
+        return r;
+      }
+      const std::uint64_t child_ovl =
+          child->version.load(std::memory_order_acquire);
+      if (is_changing_or_unlinked(child_ovl)) {
+        wait_until_not_changing(child);
+        if (node->version.load(std::memory_order_acquire) != node_ovl) {
+          return AttemptResult::Retry();
+        }
+        continue;
+      }
+      if (child != slot.load(std::memory_order_acquire)) {
+        if (node->version.load(std::memory_order_acquire) != node_ovl) {
+          return AttemptResult::Retry();
+        }
+        continue;
+      }
+      if (node->version.load(std::memory_order_acquire) != node_ovl) {
+        return AttemptResult::Retry();
+      }
+      node = child;
+      node_ovl = child_ovl;
+    }
+  }
+
+  AttemptResult attempt_erase(const K& k, Node* node,
+                              std::uint64_t node_ovl) {
+    for (;;) {
+      const int c = cmp(k, node->key);
+      if (c == 0) return try_remove_node(node);
+      Node* child = c < 0 ? node->left.load(std::memory_order_acquire)
+                          : node->right.load(std::memory_order_acquire);
+      if (child == nullptr) {
+        if (node->version.load(std::memory_order_acquire) != node_ovl) {
+          return AttemptResult::Retry();
+        }
+        return {};  // miss, validated
+      }
+      const std::uint64_t child_ovl =
+          child->version.load(std::memory_order_acquire);
+      if (is_changing_or_unlinked(child_ovl)) {
+        wait_until_not_changing(child);
+        if (node->version.load(std::memory_order_acquire) != node_ovl) {
+          return AttemptResult::Retry();
+        }
+        continue;
+      }
+      if (child != (c < 0 ? node->left.load(std::memory_order_acquire)
+                          : node->right.load(std::memory_order_acquire))) {
+        if (node->version.load(std::memory_order_acquire) != node_ovl) {
+          return AttemptResult::Retry();
+        }
+        continue;
+      }
+      if (node->version.load(std::memory_order_acquire) != node_ovl) {
+        return AttemptResult::Retry();
+      }
+      node = child;
+      node_ovl = child_ovl;
+    }
+  }
+
+  /// Removes the key at `node`: logical (clear present) when it has two
+  /// children, physical unlink when it has at most one.
+  AttemptResult try_remove_node(Node* node) {
+    for (;;) {
+      if (node->version.load(std::memory_order_acquire) & kUnlinked) {
+        return AttemptResult::Retry();
+      }
+      Node* l = node->left.load(std::memory_order_acquire);
+      Node* r = node->right.load(std::memory_order_acquire);
+      if (l != nullptr && r != nullptr) {
+        // Two children: logical removal under the node's lock.
+        std::lock_guard<sync::SpinLock> lg(node->lock);
+        if (node->version.load(std::memory_order_relaxed) & kUnlinked) {
+          return AttemptResult::Retry();
+        }
+        if (node->left.load(std::memory_order_relaxed) == nullptr ||
+            node->right.load(std::memory_order_relaxed) == nullptr) {
+          continue;  // child count changed; use the unlink path
+        }
+        AttemptResult res;
+        if (!node->present.load(std::memory_order_relaxed)) {
+          res.success = false;  // already removed
+        } else {
+          node->present.store(false, std::memory_order_release);
+          res.success = true;
+        }
+        return res;
+      }
+      // At most one child: unlink (also handles present=false zombies).
+      // The rebalance must run after these guards drop — it re-locks the
+      // parent itself.
+      Node* parent = node->parent.load(std::memory_order_acquire);
+      AttemptResult res;
+      bool unlinked = false;
+      {
+        std::lock_guard<sync::SpinLock> pg(parent->lock);
+        if ((parent->version.load(std::memory_order_relaxed) & kUnlinked) ||
+            node->parent.load(std::memory_order_acquire) != parent) {
+          continue;  // parent changed; retry with the new one
+        }
+        std::lock_guard<sync::SpinLock> ng(node->lock);
+        if (node->version.load(std::memory_order_relaxed) & kUnlinked) {
+          return AttemptResult::Retry();
+        }
+        l = node->left.load(std::memory_order_relaxed);
+        Node* rr = node->right.load(std::memory_order_relaxed);
+        if (l != nullptr && rr != nullptr) continue;  // grew a second child
+        // A zombie with <= 1 child is unlinked as a courtesy even when
+        // the erase itself fails (keeps the zombie population bounded by
+        // the two-children rule).
+        res.success = node->present.load(std::memory_order_relaxed);
+        node->present.store(false, std::memory_order_release);
+        unlink_locked(parent, node, l != nullptr ? l : rr);
+        unlinked = true;
+      }
+      if (unlinked) fix_height_and_rebalance(parent);
+      return res;
+    }
+  }
+
+  /// Requires parent and node locks. Splices node out and retires it.
+  void unlink_locked(Node* parent, Node* node, Node* child) {
+    // The node shrinks away: readers paused on it will re-validate at the
+    // parent and retry their step.
+    node->version.fetch_or(kShrinking, std::memory_order_acq_rel);
+    if (child != nullptr) {
+      child->parent.store(parent, std::memory_order_release);
+    }
+    if (parent->left.load(std::memory_order_relaxed) == node) {
+      parent->left.store(child, std::memory_order_release);
+    } else {
+      parent->right.store(child, std::memory_order_release);
+    }
+    node->version.store(kUnlinked, std::memory_order_release);
+    domain_->retire(node);
+  }
+
+  // ---- relaxed rebalancing -------------------------------------------
+
+  void fix_height_and_rebalance(Node* node) {
+    while (node != root_holder_ && node != nullptr) {
+      if (node->version.load(std::memory_order_acquire) & kUnlinked) return;
+      Node* parent = node->parent.load(std::memory_order_acquire);
+      if (parent == nullptr) return;
+      std::unique_lock<sync::SpinLock> pg(parent->lock);
+      if ((parent->version.load(std::memory_order_relaxed) & kUnlinked) ||
+          node->parent.load(std::memory_order_acquire) != parent) {
+        continue;  // re-read parent
+      }
+      std::unique_lock<sync::SpinLock> ng(node->lock);
+      if (node->version.load(std::memory_order_relaxed) & kUnlinked) return;
+
+      const std::int32_t hl =
+          height_of(node->left.load(std::memory_order_relaxed));
+      const std::int32_t hr =
+          height_of(node->right.load(std::memory_order_relaxed));
+      const std::int32_t bf = hl - hr;
+      const std::int32_t new_h = 1 + (hl > hr ? hl : hr);
+
+      if (bf > 1) {
+        // LR case: rotate the pivot left first so the single right
+        // rotation below restores balance.
+        Node* pivot = node->left.load(std::memory_order_relaxed);
+        if (pivot != nullptr &&
+            height_of(pivot->left.load(std::memory_order_acquire)) <
+                height_of(pivot->right.load(std::memory_order_acquire))) {
+          std::lock_guard<sync::SpinLock> pvg(pivot->lock);
+          rotate_left_locked(node, pivot);
+        }
+        rotate_right_locked(parent, node);
+      } else if (bf < -1) {
+        Node* pivot = node->right.load(std::memory_order_relaxed);
+        if (pivot != nullptr &&
+            height_of(pivot->right.load(std::memory_order_acquire)) <
+                height_of(pivot->left.load(std::memory_order_acquire))) {
+          std::lock_guard<sync::SpinLock> pvg(pivot->lock);
+          rotate_right_locked(node, pivot);
+        }
+        rotate_left_locked(parent, node);
+      } else {
+        if (new_h == node->height.load(std::memory_order_relaxed)) return;
+        node->height.store(new_h, std::memory_order_relaxed);
+      }
+      ng.unlock();
+      pg.unlock();
+      node = parent;
+    }
+  }
+
+  /// Requires parent and node locks; acquires the pivot child's lock.
+  /// Returns false if the shape changed and the caller should re-examine.
+  bool rotate_right_locked(Node* parent, Node* node) {
+    Node* pivot = node->left.load(std::memory_order_relaxed);
+    if (pivot == nullptr) return true;  // stale heights; nothing to do
+    std::lock_guard<sync::SpinLock> cg(pivot->lock);
+    // node shrinks (moves down): fence off optimistic readers.
+    node->version.fetch_or(kShrinking, std::memory_order_acq_rel);
+    Node* pr = pivot->right.load(std::memory_order_relaxed);
+    node->left.store(pr, std::memory_order_release);
+    if (pr != nullptr) pr->parent.store(node, std::memory_order_release);
+    pivot->right.store(node, std::memory_order_release);
+    node->parent.store(pivot, std::memory_order_release);
+    pivot->parent.store(parent, std::memory_order_release);
+    if (parent->left.load(std::memory_order_relaxed) == node) {
+      parent->left.store(pivot, std::memory_order_release);
+    } else {
+      parent->right.store(pivot, std::memory_order_release);
+    }
+    const std::int32_t nh =
+        1 + std::max(height_of(node->left.load(std::memory_order_relaxed)),
+                     height_of(node->right.load(std::memory_order_relaxed)));
+    node->height.store(nh, std::memory_order_relaxed);
+    pivot->height.store(
+        1 + std::max(height_of(pivot->left.load(std::memory_order_relaxed)),
+                     nh),
+        std::memory_order_relaxed);
+    // End of the shrink: bump the version and clear the bit.
+    const std::uint64_t v = node->version.load(std::memory_order_relaxed);
+    node->version.store((v + kShrinkIncr) & ~kShrinking,
+                        std::memory_order_release);
+    return true;
+  }
+
+  bool rotate_left_locked(Node* parent, Node* node) {
+    Node* pivot = node->right.load(std::memory_order_relaxed);
+    if (pivot == nullptr) return true;
+    std::lock_guard<sync::SpinLock> cg(pivot->lock);
+    node->version.fetch_or(kShrinking, std::memory_order_acq_rel);
+    Node* pl = pivot->left.load(std::memory_order_relaxed);
+    node->right.store(pl, std::memory_order_release);
+    if (pl != nullptr) pl->parent.store(node, std::memory_order_release);
+    pivot->left.store(node, std::memory_order_release);
+    node->parent.store(pivot, std::memory_order_release);
+    pivot->parent.store(parent, std::memory_order_release);
+    if (parent->left.load(std::memory_order_relaxed) == node) {
+      parent->left.store(pivot, std::memory_order_release);
+    } else {
+      parent->right.store(pivot, std::memory_order_release);
+    }
+    const std::int32_t nh =
+        1 + std::max(height_of(node->left.load(std::memory_order_relaxed)),
+                     height_of(node->right.load(std::memory_order_relaxed)));
+    node->height.store(nh, std::memory_order_relaxed);
+    pivot->height.store(
+        1 + std::max(nh, height_of(pivot->right.load(
+                             std::memory_order_relaxed))),
+        std::memory_order_relaxed);
+    const std::uint64_t v = node->version.load(std::memory_order_relaxed);
+    node->version.store((v + kShrinkIncr) & ~kShrinking,
+                        std::memory_order_release);
+    return true;
+  }
+
+  // ---- bulk reads ------------------------------------------------------
+
+  // Routing ("zombie") nodes may sit anywhere, including on the spine, so
+  // the extreme present key is found by an in-order sweep with early exit
+  // (in a dense tree this still inspects only the first few spine nodes).
+  std::optional<std::pair<K, V>> extreme(bool left) const {
+    auto g = domain_->guard();
+    std::optional<std::pair<K, V>> out;
+    visit_until(root_holder_->right.load(std::memory_order_acquire), left,
+                out);
+    return out;
+  }
+
+  static bool visit_until(const Node* n, bool left,
+                          std::optional<std::pair<K, V>>& out) {
+    if (n == nullptr) return true;
+    const Node* first = left ? n->left.load(std::memory_order_acquire)
+                             : n->right.load(std::memory_order_acquire);
+    const Node* second = left ? n->right.load(std::memory_order_acquire)
+                              : n->left.load(std::memory_order_acquire);
+    if (!visit_until(first, left, out)) return false;
+    const V v = n->value.load(std::memory_order_acquire);
+    if (n->present.load(std::memory_order_acquire)) {
+      out = std::make_pair(n->key, v);
+      return false;  // found the extreme present key
+    }
+    return visit_until(second, left, out);
+  }
+
+  template <typename F>
+  static void visit(const Node* n, F& fn) {
+    if (n == nullptr) return;
+    visit(n->left.load(std::memory_order_acquire), fn);
+    const V v = n->value.load(std::memory_order_acquire);
+    if (n->present.load(std::memory_order_acquire)) fn(n->key, v);
+    visit(n->right.load(std::memory_order_acquire), fn);
+  }
+
+  static void count_nodes(const Node* n, std::size_t& count) {
+    if (n == nullptr) return;
+    ++count;
+    count_nodes(n->left.load(std::memory_order_acquire), count);
+    count_nodes(n->right.load(std::memory_order_acquire), count);
+  }
+
+  void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left.load(std::memory_order_relaxed));
+    destroy(n->right.load(std::memory_order_relaxed));
+    reclaim::delete_counted(n);
+  }
+
+  reclaim::EbrDomain* domain_;
+  Compare comp_;
+  Node* root_holder_;
+};
+
+}  // namespace lot::baselines

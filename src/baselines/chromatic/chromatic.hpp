@@ -1,0 +1,396 @@
+// Chromatic6-style non-blocking external search tree on the LLX/SCX
+// substrate — standing in for Brown, Ellen, Ruppert's Chromatic tree
+// (PPoPP 2014), the non-blocking balanced competitor of Table 1.
+//
+// Faithful parts (per Brown et al.'s general technique):
+//  * external tree with inf1/inf2 sentinels, exactly as their template;
+//  * insert replaces the target leaf with a three-node subtree, delete
+//    replaces the parent with a (copied) sibling, both through SCX with
+//    V / R sets matching the paper's templates;
+//  * helping: any thread that LLXs a node with an in-progress SCX record
+//    helps it complete, so all operations are lock-free.
+//
+// Documented substitution (DESIGN.md §2): the Chromatic tree's weight-
+// based violation cleanup (the w1–w7 / rb / push transformation set,
+// triggered at six violations) is replaced by height-hint-based relaxed
+// rotations executed through the same SCX machinery after each update.
+// This preserves the comparison role — a lock-free, relaxed-balanced,
+// external tree with copy-on-rebalance — without reproducing the full
+// two-dozen-case transformation table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "baselines/llxscx/llxscx.hpp"
+#include "reclaim/ebr.hpp"
+
+namespace lot::baselines {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class ChromaticMap {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  explicit ChromaticMap(reclaim::EbrDomain& domain =
+                            reclaim::EbrDomain::global_domain(),
+                        Compare comp = Compare())
+      : domain_(&domain), comp_(std::move(comp)) {
+    Node* l1 = make_node(K{}, V{}, SentTag::kInf1, true, 1);
+    Node* l2 = make_node(K{}, V{}, SentTag::kInf2, true, 1);
+    root_ = make_node(K{}, V{}, SentTag::kInf2, false, 2);
+    root_->left.store(l1, std::memory_order_relaxed);
+    root_->right.store(l2, std::memory_order_relaxed);
+  }
+
+  ~ChromaticMap() { destroy(root_); }
+
+  ChromaticMap(const ChromaticMap&) = delete;
+  ChromaticMap& operator=(const ChromaticMap&) = delete;
+
+  static std::string_view name() { return "chromatic6-style-llxscx"; }
+
+  bool contains(const K& k) const {
+    auto g = domain_->guard();
+    const Node* l = find_leaf(k);
+    return leaf_matches(l, k);
+  }
+
+  std::optional<V> get(const K& k) const {
+    auto g = domain_->guard();
+    const Node* l = find_leaf(k);
+    if (!leaf_matches(l, k)) return std::nullopt;
+    return l->value;
+  }
+
+  bool insert(const K& k, const V& v) {
+    auto g = domain_->guard();
+    for (;;) {
+      SearchResult sr = search(k);
+      if (leaf_matches(sr.l, k)) return false;
+      auto rp = llxscx::llx(sr.p, *domain_);
+      if (!rp.ok()) continue;
+      std::atomic<Node*>* field = nullptr;
+      if (rp.left == sr.l) {
+        field = &sr.p->left;
+      } else if (rp.right == sr.l) {
+        field = &sr.p->right;
+      } else {
+        continue;  // the leaf moved; retry
+      }
+      Node* new_leaf = make_node(k, v, SentTag::kNone, true, 1);
+      const bool new_goes_left = node_less_k(k, sr.l);
+      Node* ni = make_node(K{}, V{}, SentTag::kNone, false, 2);
+      const Node* bigger = new_goes_left ? sr.l : new_leaf;
+      ni->key = bigger->key;
+      ni->tag = bigger->tag;
+      ni->left.store(new_goes_left ? new_leaf : sr.l,
+                     std::memory_order_relaxed);
+      ni->right.store(new_goes_left ? sr.l : new_leaf,
+                      std::memory_order_relaxed);
+
+      Node* vset[1] = {sr.p};
+      Rec* infos[1] = {rp.info};
+      if (llxscx::scx<Node>(vset, infos, 1, nullptr, 0, field, sr.l, ni,
+                            *domain_)) {
+        cleanup(k);
+        return true;
+      }
+      release_node(new_leaf);  // never published
+      release_node(ni);
+    }
+  }
+
+  bool erase(const K& k) {
+    auto g = domain_->guard();
+    for (;;) {
+      SearchResult sr = search(k);
+      if (!leaf_matches(sr.l, k)) return false;
+      auto rgp = llxscx::llx(sr.gp, *domain_);
+      if (!rgp.ok()) continue;
+      std::atomic<Node*>* field = nullptr;
+      if (rgp.left == sr.p) {
+        field = &sr.gp->left;
+      } else if (rgp.right == sr.p) {
+        field = &sr.gp->right;
+      } else {
+        continue;
+      }
+      auto rp = llxscx::llx(sr.p, *domain_);
+      if (!rp.ok()) continue;
+      Node* sibling = nullptr;
+      if (rp.left == sr.l) {
+        sibling = rp.right;
+      } else if (rp.right == sr.l) {
+        sibling = rp.left;
+      } else {
+        continue;
+      }
+      auto rs = llxscx::llx(sibling, *domain_);
+      if (!rs.ok()) continue;
+      // The sibling is copied (it gets a conceptually new position);
+      // original p, sibling are finalized, l becomes unreachable.
+      Node* s_copy = make_node(sibling->key, sibling->value, sibling->tag,
+                               sibling->is_leaf,
+                               sibling->height.load(std::memory_order_relaxed));
+      s_copy->left.store(rs.left, std::memory_order_relaxed);
+      s_copy->right.store(rs.right, std::memory_order_relaxed);
+
+      Node* vset[3] = {sr.gp, sr.p, sibling};
+      Rec* infos[3] = {rgp.info, rp.info, rs.info};
+      Node* fin[2] = {sr.p, sibling};
+      if (llxscx::scx<Node>(vset, infos, 3, fin, 2, field, sr.p, s_copy,
+                            *domain_)) {
+        retire_node(sr.p);
+        retire_node(sibling);
+        retire_node(sr.l);
+        cleanup(k);
+        return true;
+      }
+      release_node(s_copy);
+    }
+  }
+
+  std::optional<std::pair<K, V>> min() const {
+    auto g = domain_->guard();
+    std::optional<std::pair<K, V>> out;
+    visit_in_order(root_, [&](const Node* leaf) {
+      out = std::make_pair(leaf->key, leaf->value);
+      return false;  // first real leaf wins
+    });
+    return out;
+  }
+
+  std::optional<std::pair<K, V>> max() const {
+    auto g = domain_->guard();
+    std::optional<std::pair<K, V>> out;
+    visit_in_order(root_, [&](const Node* leaf) {
+      out = std::make_pair(leaf->key, leaf->value);
+      return true;
+    });
+    return out;
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    auto g = domain_->guard();
+    visit_in_order(root_, [&](const Node* leaf) {
+      fn(leaf->key, leaf->value);
+      return true;
+    });
+  }
+
+  std::size_t size_slow() const {
+    std::size_t n = 0;
+    for_each([&n](const K&, const V&) { ++n; });
+    return n;
+  }
+
+  bool empty() const { return size_slow() == 0; }
+
+ private:
+  enum class SentTag : std::int8_t { kNone = 0, kInf1 = 1, kInf2 = 2 };
+
+  struct Node;
+  using Rec = llxscx::ScxRecord<Node>;
+
+  struct Node {
+    K key;
+    V value;
+    SentTag tag;
+    bool is_leaf;
+    std::atomic<std::int32_t> height{1};  // relaxed balance hint
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+    std::atomic<Rec*> info;
+    std::atomic<bool> finalized{false};
+
+    Node(K k, V v, SentTag t, bool leaf, std::int32_t h)
+        : key(std::move(k)), value(std::move(v)), tag(t), is_leaf(leaf),
+          height(h), info(llxscx::dummy_record<Node>()) {}
+  };
+
+  struct SearchResult {
+    Node* gp = nullptr;
+    Node* p = nullptr;
+    Node* l = nullptr;
+  };
+
+  Node* make_node(K k, V v, SentTag t, bool leaf, std::int32_t h) {
+    return reclaim::make_counted<Node>(std::move(k), std::move(v), t, leaf,
+                                       h);
+  }
+
+  /// Unpublished node: plain delete (its info is the dummy).
+  void release_node(Node* n) { reclaim::delete_counted(n); }
+
+  /// Published node leaving the structure: drop its record reference and
+  /// hand it to EBR.
+  void retire_node(Node* n) {
+    llxscx::dec_ref(n->info.load(std::memory_order_acquire), *domain_);
+    domain_->retire(n);
+  }
+
+  bool key_less_node(const K& k, const Node* n) const {
+    if (n->tag != SentTag::kNone) return true;
+    return comp_(k, n->key);
+  }
+  bool node_less_k(const K& k, const Node* n) const {
+    return key_less_node(k, n);
+  }
+  bool leaf_matches(const Node* l, const K& k) const {
+    return l->tag == SentTag::kNone && !comp_(l->key, k) && !comp_(k, l->key);
+  }
+
+  SearchResult search(const K& k) const {
+    SearchResult sr;
+    sr.l = root_;
+    while (!sr.l->is_leaf) {
+      sr.gp = sr.p;
+      sr.p = sr.l;
+      sr.l = key_less_node(k, sr.p)
+                 ? sr.p->left.load(std::memory_order_acquire)
+                 : sr.p->right.load(std::memory_order_acquire);
+    }
+    return sr;
+  }
+
+  const Node* find_leaf(const K& k) const {
+    const Node* n = root_;
+    while (!n->is_leaf) {
+      n = key_less_node(k, n) ? n->left.load(std::memory_order_acquire)
+                              : n->right.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  static std::int32_t height_hint(const Node* n) {
+    return n == nullptr ? 0 : n->height.load(std::memory_order_relaxed);
+  }
+
+  /// Post-update relaxed rebalancing: descend toward k refreshing height
+  /// hints; on a (hint-)imbalanced node perform a copy-on-rotate SCX and
+  /// restart, a bounded number of times.
+  void cleanup(const K& k) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      Node* p = nullptr;
+      Node* n = root_;
+      bool rotated = false;
+      while (!n->is_leaf) {
+        Node* l = n->left.load(std::memory_order_acquire);
+        Node* r = n->right.load(std::memory_order_acquire);
+        if (l == nullptr || r == nullptr) break;  // being rewritten
+        const std::int32_t hl = height_hint(l);
+        const std::int32_t hr = height_hint(r);
+        n->height.store(1 + (hl > hr ? hl : hr), std::memory_order_relaxed);
+        const std::int32_t bf = hl - hr;
+        if (p != nullptr && (bf >= 2 || bf <= -2)) {
+          Node* pivot = bf >= 2 ? l : r;
+          if (!pivot->is_leaf && try_rotate(p, n, pivot, bf >= 2)) {
+            rotated = true;
+          }
+          break;  // restart the descent either way
+        }
+        p = n;
+        n = key_less_node(k, n) ? l : r;
+      }
+      if (!rotated) return;
+    }
+  }
+
+  /// One rotation as an SCX: V = {p, n, pivot}, R = {n, pivot}; installs
+  /// fresh copies n' (moved down) and pivot' (moved up) in their place.
+  bool try_rotate(Node* p, Node* n, Node* pivot, bool right_rotation) {
+    auto rp = llxscx::llx(p, *domain_);
+    if (!rp.ok()) return false;
+    std::atomic<Node*>* field = nullptr;
+    if (rp.left == n) {
+      field = &p->left;
+    } else if (rp.right == n) {
+      field = &p->right;
+    } else {
+      return false;
+    }
+    auto rn = llxscx::llx(n, *domain_);
+    if (!rn.ok()) return false;
+    Node* c = right_rotation ? rn.left : rn.right;
+    if (c != pivot || c == nullptr || c->is_leaf) return false;
+    auto rc = llxscx::llx(c, *domain_);
+    if (!rc.ok()) return false;
+
+    Node* moved;   // inner subtree that changes sides
+    Node* stays;   // n's other subtree
+    Node* outer;   // pivot's outer subtree
+    if (right_rotation) {
+      moved = rc.right;
+      stays = rn.right;
+      outer = rc.left;
+    } else {
+      moved = rc.left;
+      stays = rn.left;
+      outer = rc.right;
+    }
+    const std::int32_t n_h =
+        1 + std::max(height_hint(moved), height_hint(stays));
+    Node* n2 = make_node(n->key, n->value, n->tag, false, n_h);
+    Node* c2 = make_node(c->key, c->value, c->tag, false,
+                         1 + std::max(height_hint(outer), n_h));
+    if (right_rotation) {
+      n2->left.store(moved, std::memory_order_relaxed);
+      n2->right.store(stays, std::memory_order_relaxed);
+      c2->left.store(outer, std::memory_order_relaxed);
+      c2->right.store(n2, std::memory_order_relaxed);
+    } else {
+      n2->right.store(moved, std::memory_order_relaxed);
+      n2->left.store(stays, std::memory_order_relaxed);
+      c2->right.store(outer, std::memory_order_relaxed);
+      c2->left.store(n2, std::memory_order_relaxed);
+    }
+
+    Node* vset[3] = {p, n, c};
+    Rec* infos[3] = {rp.info, rn.info, rc.info};
+    Node* fin[2] = {n, c};
+    if (llxscx::scx<Node>(vset, infos, 3, fin, 2, field, n, c2, *domain_)) {
+      retire_node(n);
+      retire_node(c);
+      return true;
+    }
+    release_node(n2);
+    release_node(c2);
+    return false;
+  }
+
+  template <typename F>
+  static bool visit_in_order(const Node* n, F&& fn) {
+    if (n == nullptr) return true;
+    if (n->is_leaf) {
+      if (n->tag != SentTag::kNone) return true;
+      return fn(n);
+    }
+    if (!visit_in_order(n->left.load(std::memory_order_acquire), fn)) {
+      return false;
+    }
+    return visit_in_order(n->right.load(std::memory_order_acquire), fn);
+  }
+
+  void destroy(Node* n) {
+    if (n == nullptr) return;
+    if (!n->is_leaf) {
+      destroy(n->left.load(std::memory_order_relaxed));
+      destroy(n->right.load(std::memory_order_relaxed));
+    }
+    llxscx::dec_ref(n->info.load(std::memory_order_relaxed), *domain_);
+    reclaim::delete_counted(n);
+  }
+
+  reclaim::EbrDomain* domain_;
+  Compare comp_;
+  Node* root_;
+};
+
+}  // namespace lot::baselines

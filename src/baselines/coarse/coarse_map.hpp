@@ -1,0 +1,72 @@
+// Sanity baseline: std::map under a single global mutex. The floor every
+// concurrent structure must beat under contention, and a convenient
+// always-correct comparator in differential tests.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace lot::baselines {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class CoarseMap {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  static std::string_view name() { return "coarse-std-map"; }
+
+  bool insert(const K& k, const V& v) {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.emplace(k, v).second;
+  }
+
+  bool erase(const K& k) {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.erase(k) > 0;
+  }
+
+  bool contains(const K& k) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.count(k) > 0;
+  }
+
+  std::optional<V> get(const K& k) const {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::optional<std::pair<K, V>> min() const {
+    std::lock_guard<std::mutex> g(mu_);
+    if (map_.empty()) return std::nullopt;
+    return std::make_pair(map_.begin()->first, map_.begin()->second);
+  }
+
+  std::optional<std::pair<K, V>> max() const {
+    std::lock_guard<std::mutex> g(mu_);
+    if (map_.empty()) return std::nullopt;
+    return std::make_pair(map_.rbegin()->first, map_.rbegin()->second);
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& [k, v] : map_) fn(k, v);
+  }
+
+  std::size_t size_slow() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<K, V, Compare> map_;
+};
+
+}  // namespace lot::baselines

@@ -1,0 +1,179 @@
+// LLX/SCX: the multi-word synchronization primitive of Brown, Ellen,
+// Ruppert ("A general technique for non-blocking trees", PPoPP 2014) that
+// underlies their Chromatic tree.
+//
+//  * LLX(node) returns a snapshot of the node's mutable fields (children)
+//    together with the node's current operation record, or FAIL if an
+//    operation is in progress (after helping it).
+//  * SCX(V, R, field, new) atomically: verifies no node in V changed since
+//    its LLX, finalizes the nodes in R (they leave the data structure),
+//    and writes `new` into one child field. Threads that encounter an
+//    in-progress record help it complete, giving lock-free progress.
+//
+// Records are reference-counted by the nodes whose info pointer holds
+// them and reclaimed through EBR once the count drops to zero (readers
+// may still dereference a displaced record under their guard).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+#include "reclaim/ebr.hpp"
+
+namespace lot::baselines::llxscx {
+
+template <typename NodeT>
+struct ScxRecord {
+  static constexpr std::size_t kMaxV = 4;
+  enum State : int { kInProgress = 0, kCommitted = 1, kAborted = 2 };
+
+  std::atomic<int> state{kInProgress};
+  std::atomic<bool> all_frozen{false};
+
+  NodeT* v[kMaxV] = {nullptr, nullptr, nullptr, nullptr};
+  ScxRecord* infos[kMaxV] = {nullptr, nullptr, nullptr, nullptr};
+  std::size_t v_count = 0;
+
+  std::atomic<NodeT*>* field = nullptr;
+  NodeT* old_child = nullptr;
+  NodeT* new_child = nullptr;
+
+  NodeT* finalize[kMaxV] = {nullptr, nullptr, nullptr, nullptr};
+  std::size_t finalize_count = 0;
+
+  // Nodes referencing this record through their info pointer, plus one
+  // virtual reference held by the in-flight operation until it completes.
+  std::atomic<std::int64_t> refs{1};
+};
+
+/// The permanently-committed dummy record every node starts with.
+template <typename NodeT>
+ScxRecord<NodeT>* dummy_record() {
+  static ScxRecord<NodeT> dummy;
+  static const bool initialized = [] {
+    dummy.state.store(ScxRecord<NodeT>::kCommitted,
+                      std::memory_order_relaxed);
+    dummy.refs.store(1'000'000'000, std::memory_order_relaxed);  // permanent
+    return true;
+  }();
+  (void)initialized;
+  return &dummy;
+}
+
+template <typename NodeT>
+void dec_ref(ScxRecord<NodeT>* rec, reclaim::EbrDomain& domain) {
+  if (rec == dummy_record<NodeT>()) return;
+  if (rec->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    domain.retire(rec);
+  }
+}
+
+template <typename NodeT>
+void inc_ref(ScxRecord<NodeT>* rec) {
+  rec->refs.fetch_add(1, std::memory_order_acq_rel);
+}
+
+/// Result of LLX: the record observed (nullptr on FAIL) plus the snapshot
+/// of the node's child pointers.
+template <typename NodeT>
+struct LlxResult {
+  ScxRecord<NodeT>* info = nullptr;
+  NodeT* left = nullptr;
+  NodeT* right = nullptr;
+  bool ok() const { return info != nullptr; }
+};
+
+template <typename NodeT>
+bool help_scx(ScxRecord<NodeT>* rec, reclaim::EbrDomain& domain);
+
+/// LLX. Helps any in-progress operation it runs into, then fails so the
+/// caller re-reads fresh state.
+template <typename NodeT>
+LlxResult<NodeT> llx(NodeT* node, reclaim::EbrDomain& domain) {
+  const bool marked = node->finalized.load(std::memory_order_acquire);
+  ScxRecord<NodeT>* info = node->info.load(std::memory_order_acquire);
+  const int state = info->state.load(std::memory_order_acquire);
+  if ((state == ScxRecord<NodeT>::kCommitted ||
+       state == ScxRecord<NodeT>::kAborted) &&
+      !marked) {
+    LlxResult<NodeT> res;
+    res.left = node->left.load(std::memory_order_acquire);
+    res.right = node->right.load(std::memory_order_acquire);
+    if (node->info.load(std::memory_order_acquire) == info) {
+      res.info = info;
+      return res;  // consistent snapshot
+    }
+    return {};
+  }
+  if (state == ScxRecord<NodeT>::kInProgress) help_scx(info, domain);
+  return {};
+}
+
+/// The helping core of SCX. Returns true iff the record committed.
+template <typename NodeT>
+bool help_scx(ScxRecord<NodeT>* rec, reclaim::EbrDomain& domain) {
+  using Rec = ScxRecord<NodeT>;
+  // Freeze every node in V by installing `rec` as its info.
+  for (std::size_t i = 0; i < rec->v_count; ++i) {
+    NodeT* node = rec->v[i];
+    ScxRecord<NodeT>* expected = rec->infos[i];
+    inc_ref(rec);  // tentatively account for the node's reference
+    if (!node->info.compare_exchange_strong(expected, rec,
+                                            std::memory_order_acq_rel)) {
+      dec_ref(rec, domain);  // CAS lost: take the tentative count back
+      if (node->info.load(std::memory_order_acquire) != rec) {
+        // Frozen by someone else (or moved on): if the operation already
+        // reached the all-frozen point some helper will finish it.
+        if (rec->all_frozen.load(std::memory_order_acquire)) return true;
+        int exp = Rec::kInProgress;
+        rec->state.compare_exchange_strong(exp, Rec::kAborted,
+                                           std::memory_order_acq_rel);
+        return false;
+      }
+      // info == rec: another helper froze this node; its old info ref was
+      // already released by that helper.
+      continue;
+    }
+    // We won the freeze: release the displaced record's reference.
+    dec_ref(expected, domain);
+  }
+  rec->all_frozen.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < rec->finalize_count; ++i) {
+    rec->finalize[i]->finalized.store(true, std::memory_order_release);
+  }
+  NodeT* expected_child = rec->old_child;
+  rec->field->compare_exchange_strong(expected_child, rec->new_child,
+                                      std::memory_order_acq_rel);
+  rec->state.store(Rec::kCommitted, std::memory_order_release);
+  return true;
+}
+
+/// SCX proper. `v`/`infos` come from successful LLXs on each node (the
+/// node holding `field` must be among them). Returns true on commit; the
+/// caller (originator) then owns retiring the finalized nodes.
+template <typename NodeT>
+bool scx(NodeT* const* v, ScxRecord<NodeT>* const* infos, std::size_t v_count,
+         NodeT* const* finalize, std::size_t finalize_count,
+         std::atomic<NodeT*>* field, NodeT* old_child, NodeT* new_child,
+         reclaim::EbrDomain& domain) {
+  using Rec = ScxRecord<NodeT>;
+  Rec* rec = reclaim::make_counted<Rec>();
+  rec->v_count = v_count;
+  for (std::size_t i = 0; i < v_count; ++i) {
+    rec->v[i] = v[i];
+    rec->infos[i] = infos[i];
+  }
+  rec->finalize_count = finalize_count;
+  for (std::size_t i = 0; i < finalize_count; ++i) {
+    rec->finalize[i] = finalize[i];
+  }
+  rec->field = field;
+  rec->old_child = old_child;
+  rec->new_child = new_child;
+  const bool committed = help_scx(rec, domain);
+  dec_ref(rec, domain);  // drop the operation's own reference
+  return committed;
+}
+
+}  // namespace lot::baselines::llxscx

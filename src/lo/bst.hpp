@@ -1,0 +1,14 @@
+// Convenience alias: the unbalanced logical-ordering BST (paper §4.6).
+#pragma once
+
+#include "lo/map.hpp"
+
+namespace lot::lo {
+
+/// Concurrent internal BST with lock-free contains/get and on-time
+/// deletion; no balancing (expected O(log n) paths only under uniform
+/// keys). See LoMap for the full API.
+template <typename K, typename V, typename Compare = std::less<K>>
+using BstMap = LoMap<K, V, Compare, /*Balanced=*/false>;
+
+}  // namespace lot::lo

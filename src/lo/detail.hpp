@@ -1,0 +1,99 @@
+// Shared low-level physical-layout helpers (paper Algorithms 6, 10, 11,
+// 13) used by the unbalanced BST, the AVL tree, and the partially-external
+// variant. All functions here require the caller to hold the tree locks
+// stated in their contracts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "lo/node.hpp"
+
+namespace lot::lo::detail {
+
+/// Algorithm 10. Requires: parent's and (if non-null) new_child's relevant
+/// tree locks per the caller's protocol. Replaces `old_child` under
+/// `parent` with `new_child` and reparents `new_child`.
+template <typename N>
+void update_child(N* parent, N* old_child, N* new_child) {
+  if (parent->left.load(std::memory_order_relaxed) == old_child) {
+    parent->left.store(new_child, std::memory_order_release);
+  } else {
+    parent->right.store(new_child, std::memory_order_release);
+  }
+  if (new_child != nullptr) {
+    new_child->parent.store(parent, std::memory_order_release);
+  }
+}
+
+/// Algorithm 6. Requires: node->tree_lock held. Locks and returns node's
+/// current parent. The parent pointer can change while the parent is
+/// unlocked (rotations re-parent a node while holding only the two parents'
+/// locks), hence the validate-and-retry loop. Blocking is safe: we lock
+/// upward, which matches the bottom-up tree-lock order (paper §5.1).
+template <typename N>
+N* lock_parent(N* node) {
+  for (;;) {
+    N* p = node->parent.load(std::memory_order_acquire);
+    p->tree_lock.lock();
+    if (node->parent.load(std::memory_order_acquire) == p &&
+        !p->mark.load(std::memory_order_acquire)) {
+      return p;
+    }
+    p->tree_lock.unlock();
+  }
+}
+
+/// Algorithm 13. Requires: node (and child if non-null) tree-locked.
+/// Refreshes node's cached height of the subtree rooted at `child` and
+/// reports whether it changed (the paper's pseudocode returns the negation;
+/// we return "changed" because that is what the caller branches on).
+template <typename N>
+bool update_height(N* child, N* node, bool is_left) {
+  const std::int32_t new_h =
+      child == nullptr ? 0
+                       : std::max(child->left_height.load(
+                                      std::memory_order_relaxed),
+                                  child->right_height.load(
+                                      std::memory_order_relaxed)) +
+                             1;
+  auto& field = is_left ? node->left_height : node->right_height;
+  const std::int32_t old_h = field.load(std::memory_order_relaxed);
+  field.store(new_h, std::memory_order_relaxed);
+  return old_h != new_h;
+}
+
+/// Algorithm 11. Requires: parent, n, child all tree-locked; for a left
+/// rotation child == n->right, else child == n->left. The displaced
+/// grandchild's parent changes from `child` to `n` — both locked, which is
+/// exactly the re-parenting rule.
+template <typename N>
+void rotate(N* child, N* n, N* parent, bool left_rotation) {
+  update_child(parent, n, child);
+  n->parent.store(child, std::memory_order_release);
+  if (left_rotation) {
+    update_child(n, child, child->left.load(std::memory_order_relaxed));
+    child->left.store(n, std::memory_order_release);
+    n->right_height.store(
+        child->left_height.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    child->left_height.store(
+        std::max(n->left_height.load(std::memory_order_relaxed),
+                 n->right_height.load(std::memory_order_relaxed)) +
+            1,
+        std::memory_order_relaxed);
+  } else {
+    update_child(n, child, child->right.load(std::memory_order_relaxed));
+    child->right.store(n, std::memory_order_release);
+    n->left_height.store(
+        child->right_height.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    child->right_height.store(
+        std::max(n->left_height.load(std::memory_order_relaxed),
+                 n->right_height.load(std::memory_order_relaxed)) +
+            1,
+        std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lot::lo::detail

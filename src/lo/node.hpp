@@ -1,0 +1,75 @@
+// Node layout for the logical-ordering trees (paper Figure 3).
+//
+// Every node participates in two layouts:
+//   * the physical tree layout: parent / left / right (+ subtree heights
+//     for the AVL variant), protected by tree_lock;
+//   * the logical ordering layout: pred / succ, a doubly linked list in
+//     key order delimited by the -inf / +inf sentinels, protected by
+//     succ_lock (node N's succ_lock guards the interval (N, succ(N)):
+//     N's succ field and succ(N)'s pred field).
+//
+// Fields read by lock-free operations (search, contains, get, ordered
+// iteration) are std::atomic and accessed with acquire/release; fields
+// only ever touched under their lock (the heights) are relaxed atomics so
+// that an accidental unlocked read is at worst stale, never UB.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "sync/spinlock.hpp"
+
+namespace lot::lo {
+
+/// Sentinel tag. Sentinels compare below/above every normal key so that K
+/// itself needs no infinity values (paper §3.1 adds -inf/+inf to the set).
+enum class Tag : std::int8_t { kNegInf = -1, kNormal = 0, kPosInf = 1 };
+
+template <typename K, typename V>
+struct Node {
+  using Self = Node<K, V>;
+
+  const K key;
+  const Tag tag;
+  V value;
+
+  /// True once the node is removed from the logical ordering. Shared
+  /// meaning with the interval (node, succ(node)) being merged away.
+  std::atomic<bool> mark{false};
+
+  /// Used only by the "logical removing" (partially-external) variant:
+  /// the node is logically absent but still present in both layouts.
+  std::atomic<bool> deleted{false};
+
+  // ---- physical tree layout (tree_lock) ----
+  std::atomic<Self*> left{nullptr};
+  std::atomic<Self*> right{nullptr};
+  std::atomic<Self*> parent{nullptr};
+  std::atomic<std::int32_t> left_height{0};
+  std::atomic<std::int32_t> right_height{0};
+  sync::SpinLock tree_lock;
+
+  // ---- logical ordering layout (succ_lock) ----
+  std::atomic<Self*> pred{nullptr};
+  std::atomic<Self*> succ{nullptr};
+  sync::SpinLock succ_lock;
+
+  Node(K k, V v, Tag t = Tag::kNormal)
+      : key(std::move(k)), tag(t), value(std::move(v)) {}
+
+  bool is_sentinel() const { return tag != Tag::kNormal; }
+
+  std::int32_t height_of_subtrees() const {
+    const auto lh = left_height.load(std::memory_order_relaxed);
+    const auto rh = right_height.load(std::memory_order_relaxed);
+    return lh > rh ? lh : rh;
+  }
+
+  std::int32_t balance_factor() const {
+    return left_height.load(std::memory_order_relaxed) -
+           right_height.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace lot::lo

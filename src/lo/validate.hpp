@@ -1,0 +1,167 @@
+// Quiescent-state structural validation for the logical-ordering trees.
+// Every check here is an invariant the paper relies on; the concurrent
+// stress tests drive the tree hard and then call validate() with all
+// worker threads joined.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lo/node.hpp"
+
+namespace lot::lo {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+  std::size_t chain_nodes = 0;  // unmarked nodes on the ordering chain
+  std::size_t tree_nodes = 0;   // nodes reachable from the root
+  std::int32_t height = 0;      // height of the physical tree
+
+  void fail(std::string msg) {
+    ok = false;
+    if (errors.size() < 32) errors.push_back(std::move(msg));
+  }
+
+  std::string to_string() const {
+    std::string out;
+    for (const auto& e : errors) {
+      out += e;
+      out += '\n';
+    }
+    return out;
+  }
+};
+
+namespace detail_validate {
+
+template <typename NodeT, typename Cmp>
+void walk_tree(const NodeT* node, const NodeT* expected_parent,
+               const std::set<const NodeT*>& chain, ValidationReport& rep,
+               const Cmp& less, const NodeT* lo, const NodeT* hi,
+               bool check_heights, std::int32_t& height_out) {
+  if (node == nullptr) {
+    height_out = 0;
+    return;
+  }
+  ++rep.tree_nodes;
+  if (node->parent.load(std::memory_order_relaxed) != expected_parent) {
+    rep.fail("parent pointer inconsistent at a tree node");
+  }
+  if (node->mark.load(std::memory_order_relaxed)) {
+    rep.fail("marked (removed) node reachable in the tree layout");
+  }
+  if (chain.count(node) == 0) {
+    rep.fail("tree node missing from the logical ordering chain");
+  }
+  // BST order via the bounding nodes (handles sentinels without needing
+  // key infinities).
+  if (lo != nullptr && lo->tag == Tag::kNormal &&
+      !(node->tag == Tag::kPosInf || less(lo->key, node->key))) {
+    rep.fail("BST order violated (node not above its lower bound)");
+  }
+  if (hi != nullptr && hi->tag == Tag::kNormal &&
+      !(node->tag == Tag::kNegInf || less(node->key, hi->key))) {
+    rep.fail("BST order violated (node not below its upper bound)");
+  }
+  if (node->tree_lock.is_locked() || node->succ_lock.is_locked()) {
+    rep.fail("lock left held at quiescence");
+  }
+
+  std::int32_t lh = 0;
+  std::int32_t rh = 0;
+  walk_tree(node->left.load(std::memory_order_relaxed), node, chain, rep,
+            less, lo, node, check_heights, lh);
+  walk_tree(node->right.load(std::memory_order_relaxed), node, chain, rep,
+            less, node, hi, check_heights, rh);
+  if (check_heights) {
+    if (node->left_height.load(std::memory_order_relaxed) != lh ||
+        node->right_height.load(std::memory_order_relaxed) != rh) {
+      rep.fail("cached subtree heights stale at quiescence");
+    }
+    const std::int32_t bf = lh - rh;
+    if (bf < -1 || bf > 1) {
+      rep.fail("AVL balance violated at quiescence (|bf| = " +
+               std::to_string(bf < 0 ? -bf : bf) + ")");
+    }
+  }
+  height_out = (lh > rh ? lh : rh) + 1;
+}
+
+}  // namespace detail_validate
+
+/// Validates a quiescent LoMap (or the partially-external variant with
+/// `partial = true`, which permits `deleted` nodes in both layouts):
+///  * the pred/succ chain runs -inf .. +inf, strictly increasing, and the
+///    two directions mirror each other, with no marked node on it;
+///  * the physical tree contains exactly the chain's nodes, in BST order,
+///    with consistent parent pointers;
+///  * (AVL) cached heights are exact and every balance factor is in
+///    {-1, 0, 1} — the relaxed scheme must be strict at quiescence;
+///  * no per-node lock is left held.
+template <typename MapT>
+ValidationReport validate(const MapT& map, bool check_heights,
+                          bool partial = false) {
+  using NodeT = typename MapT::NodeT;
+  ValidationReport rep;
+  const NodeT* neg = map.debug_neg_sentinel();
+  const NodeT* pos = map.debug_pos_sentinel();
+  const NodeT* root = map.debug_root();
+
+  // --- ordering chain ---
+  std::set<const NodeT*> chain;
+  std::less<typename MapT::key_type> less;
+  const NodeT* prev = neg;
+  const NodeT* node = neg->succ.load(std::memory_order_relaxed);
+  while (node != nullptr && node != pos) {
+    if (node->tag != Tag::kNormal) {
+      rep.fail("sentinel in the middle of the ordering chain");
+      break;
+    }
+    if (node->mark.load(std::memory_order_relaxed)) {
+      rep.fail("marked node still on the ordering chain");
+    }
+    if (prev->tag == Tag::kNormal && !less(prev->key, node->key)) {
+      rep.fail("ordering chain not strictly increasing");
+    }
+    if (node->pred.load(std::memory_order_relaxed) != prev) {
+      rep.fail("pred pointer does not mirror succ pointer");
+    }
+    if (!chain.insert(node).second) {
+      rep.fail("cycle in the ordering chain");
+      break;
+    }
+    prev = node;
+    node = node->succ.load(std::memory_order_relaxed);
+  }
+  if (node != pos) {
+    rep.fail("ordering chain does not terminate at +inf");
+  } else if (pos->pred.load(std::memory_order_relaxed) != prev) {
+    rep.fail("+inf pred does not mirror the chain tail");
+  }
+  rep.chain_nodes = chain.size();
+
+  // --- physical tree (hangs off the +inf sentinel's left child) ---
+  std::set<const NodeT*> tree_set = chain;  // membership check inside walk
+  std::int32_t height = 0;
+  detail_validate::walk_tree(root->left.load(std::memory_order_relaxed),
+                             root, tree_set, rep, less, neg, pos,
+                             check_heights, height);
+  rep.height = height;
+  if (!partial && rep.tree_nodes != rep.chain_nodes) {
+    rep.fail("tree layout and ordering chain disagree on membership (" +
+             std::to_string(rep.tree_nodes) + " vs " +
+             std::to_string(rep.chain_nodes) + ")");
+  }
+  if (root->left.load(std::memory_order_relaxed) != nullptr &&
+      root->left.load(std::memory_order_relaxed)
+              ->parent.load(std::memory_order_relaxed) != root) {
+    rep.fail("top node's parent is not the root sentinel");
+  }
+  return rep;
+}
+
+}  // namespace lot::lo

@@ -1,0 +1,48 @@
+// Global allocation counters used by the memory-footprint experiments
+// (DESIGN.md ablation A2: on-time deletion vs "zombie" logical removal).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace lot::reclaim {
+
+struct AllocStats {
+  static std::atomic<std::uint64_t>& allocated() {
+    static std::atomic<std::uint64_t> v{0};
+    return v;
+  }
+  static std::atomic<std::uint64_t>& freed() {
+    static std::atomic<std::uint64_t> v{0};
+    return v;
+  }
+
+  static std::uint64_t live() {
+    return allocated().load(std::memory_order_relaxed) -
+           freed().load(std::memory_order_relaxed);
+  }
+
+  static void reset() {
+    allocated().store(0, std::memory_order_relaxed);
+    freed().store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Counted allocation used for all tree nodes so experiments can observe
+/// live-node counts without instrumenting every implementation separately.
+template <typename T, typename... Args>
+T* make_counted(Args&&... args) {
+  AllocStats::allocated().fetch_add(1, std::memory_order_relaxed);
+  return new T(std::forward<Args>(args)...);
+}
+
+template <typename T>
+void delete_counted(T* p) {
+  if (p == nullptr) return;
+  AllocStats::freed().fetch_add(1, std::memory_order_relaxed);
+  delete p;
+}
+
+}  // namespace lot::reclaim

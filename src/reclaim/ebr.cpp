@@ -1,0 +1,217 @@
+#include "reclaim/ebr.hpp"
+
+#include <cassert>
+#include <mutex>
+#include <unordered_set>
+
+namespace lot::reclaim {
+namespace {
+
+// Registry of live domains, so thread-exit cleanup never touches a domain
+// that was already destroyed (a thread's cached record pointer may outlive
+// a test-scoped domain).
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_set<EbrDomain*>& live_domains() {
+  static std::unordered_set<EbrDomain*> s;
+  return s;
+}
+
+std::uint64_t next_domain_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// Per-thread cache mapping domains to acquired records. Fixed-size linear
+// table: a thread realistically touches one or two domains.
+struct TlsCache {
+  static constexpr std::size_t kEntries = 8;
+  struct Entry {
+    EbrDomain* domain = nullptr;
+    std::uint64_t uid = 0;
+    EbrDomain::Record* record = nullptr;
+  };
+  Entry entries[kEntries];
+
+  ~TlsCache() {
+    // Release records back to their domains — but only for domains that
+    // still exist.
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (auto& e : entries) {
+      if (e.domain != nullptr && live_domains().count(e.domain) > 0 &&
+          e.domain->uid_ == e.uid) {
+        e.domain->release_record_of_exiting_thread(e.record);
+      }
+    }
+  }
+
+  EbrDomain::Record*& slot_for(EbrDomain* d, std::uint64_t uid) {
+    for (auto& e : entries) {
+      if (e.domain == d && e.uid == uid) return e.record;
+    }
+    for (auto& e : entries) {
+      if (e.domain == nullptr || e.record == nullptr) {
+        e.domain = d;
+        e.uid = uid;
+        e.record = nullptr;
+        return e.record;
+      }
+    }
+    // A thread juggling more than kEntries domains: recycle the first slot.
+    // (Never happens in this codebase; documented limitation.)
+    entries[0].domain = d;
+    entries[0].uid = uid;
+    entries[0].record = nullptr;
+    return entries[0].record;
+  }
+};
+
+namespace {
+TlsCache& tls_cache() {
+  thread_local TlsCache cache;
+  return cache;
+}
+}  // namespace
+
+EbrDomain::EbrDomain() : uid_(next_domain_uid()) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  live_domains().insert(this);
+}
+
+EbrDomain::~EbrDomain() {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    live_domains().erase(this);
+  }
+  // By contract no guards are active at destruction; everything retired is
+  // now safe to free.
+  for (auto& rec : records_) {
+    assert(rec.pinned_epoch.load(std::memory_order_relaxed) == 0);
+    for (auto& r : rec.retired) r.deleter(r.ptr);
+    rec.retired.clear();
+  }
+}
+
+EbrDomain& EbrDomain::global_domain() {
+  static EbrDomain domain;
+  return domain;
+}
+
+EbrDomain::Record* EbrDomain::acquire_record() {
+  auto*& cached = tls_cache().slot_for(this, uid_);
+  if (cached != nullptr) return cached;
+  for (auto& rec : records_) {
+    bool expected = false;
+    if (!rec.in_use.load(std::memory_order_relaxed) &&
+        rec.in_use.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      cached = &rec;
+      return cached;
+    }
+  }
+  // More simultaneous threads than kMaxThreads. Fail loudly: silently
+  // sharing a record would corrupt guard accounting.
+  assert(false && "EbrDomain: out of thread records");
+  std::abort();
+}
+
+void EbrDomain::release_record_of_exiting_thread(Record* rec) {
+  // Called with the registry mutex held, from the exiting thread's TLS
+  // destructor. The retired list stays with the record; the next owner (or
+  // flush / the domain destructor) frees it when eligible.
+  rec->guard_depth = 0;
+  rec->pinned_epoch.store(0, std::memory_order_release);
+  rec->in_use.store(false, std::memory_order_release);
+}
+
+EbrDomain::Guard EbrDomain::guard() {
+  Record* rec = acquire_record();
+  if (rec->guard_depth++ == 0) pin(*rec);
+  return Guard(this, rec);
+}
+
+void EbrDomain::pin(Record& rec) {
+  // The store must be visible before we re-check the global epoch, or a
+  // concurrent advance could miss this pin; hence seq_cst on both sides.
+  std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    rec.pinned_epoch.store(e, std::memory_order_seq_cst);
+    const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) return;
+    e = now;
+  }
+}
+
+void EbrDomain::unpin(Record& rec) {
+  rec.pinned_epoch.store(0, std::memory_order_release);
+}
+
+void EbrDomain::retire_raw(void* p, void (*deleter)(void*)) {
+  Record* rec = acquire_record();
+  rec->retired.push_back(
+      {p, deleter, global_epoch_.load(std::memory_order_acquire)});
+  if (++rec->since_last_scan >= retire_threshold_) {
+    rec->since_last_scan = 0;
+    try_advance();
+    free_eligible(*rec);
+  }
+}
+
+bool EbrDomain::try_advance() {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (const auto& rec : records_) {
+    const std::uint64_t pinned =
+        rec.pinned_epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < e) return false;  // straggler in old epoch
+  }
+  std::uint64_t expected = e;
+  global_epoch_.compare_exchange_strong(expected, e + 1,
+                                        std::memory_order_seq_cst);
+  return true;  // someone advanced (us or a racing thread)
+}
+
+void EbrDomain::free_eligible(Record& rec) {
+  // Safe to free anything retired at least two epochs ago: every guard
+  // active at (or before) the retire epoch has ended, and no newer guard
+  // can reach an object that was unlinked before retirement.
+  const std::uint64_t safe_before =
+      global_epoch_.load(std::memory_order_acquire);
+  if (safe_before < 3) return;
+  auto& list = rec.retired;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].epoch <= safe_before - 2) {
+      list[i].deleter(list[i].ptr);
+    } else {
+      list[kept++] = list[i];
+    }
+  }
+  list.resize(kept);
+}
+
+void EbrDomain::flush() {
+  // Two advances move everything currently retired out of the danger
+  // window (when no guards are pinned; otherwise we free what we can).
+  try_advance();
+  try_advance();
+  for (auto& rec : records_) {
+    // Only touch lists of records not owned by a running thread, plus our
+    // own. Concurrent mutation of someone else's vector would race; flush
+    // is specified for quiescent use, so in practice all records are
+    // either ours or idle.
+    free_eligible(rec);
+  }
+}
+
+std::size_t EbrDomain::pending_retired() const {
+  std::size_t n = 0;
+  for (const auto& rec : records_) n += rec.retired.size();
+  return n;
+}
+
+}  // namespace lot::reclaim

@@ -1,0 +1,129 @@
+// Epoch-based memory reclamation (EBR).
+//
+// The logical-ordering trees (and the lock-free baselines) traverse nodes
+// without holding locks, including nodes that have already been unlinked.
+// The paper's Java implementation leans on the JVM garbage collector for
+// this; in C++ we must guarantee ourselves that a node is not freed while
+// some thread may still dereference it. EBR provides exactly that:
+//
+//  * every operation executes under a Guard, which pins the thread to the
+//    current global epoch;
+//  * removed nodes are retire()d, not deleted; a retired node is freed only
+//    once the global epoch has advanced twice past its retirement epoch,
+//    which implies every guard that could have seen the node has ended.
+//
+// The domain owns a fixed pool of per-thread records. A thread lazily
+// acquires a record on first use and caches it in a thread-local table;
+// the record (and any not-yet-freed retired objects in it) returns to the
+// pool when the thread exits, so no memory is orphaned.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "reclaim/alloc_stats.hpp"
+#include "sync/cacheline.hpp"
+
+namespace lot::reclaim {
+
+class EbrDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = 64;
+  static constexpr std::size_t kDefaultRetireThreshold = 128;
+
+  EbrDomain();
+  ~EbrDomain();
+  EbrDomain(const EbrDomain&) = delete;
+  EbrDomain& operator=(const EbrDomain&) = delete;
+
+  /// Process-wide default domain shared by all trees unless a test passes
+  /// its own.
+  static EbrDomain& global_domain();
+
+  class Guard;
+
+  /// RAII epoch pin. Re-entrant: nested guards on the same thread are
+  /// cheap (a depth increment).
+  Guard guard();
+
+  /// Defers `delete_counted(p)` until no guard can reference `p`.
+  template <typename T>
+  void retire(T* p) {
+    retire_raw(p, [](void* q) {
+      AllocStats::freed().fetch_add(1, std::memory_order_relaxed);
+      delete static_cast<T*>(q);
+    });
+  }
+
+  /// Type-erased variant; `deleter` must be callable from any thread.
+  void retire_raw(void* p, void (*deleter)(void*));
+
+  /// Attempts to advance the epoch and free everything eligible, from every
+  /// record. Call at quiescence (no active guards) to reach a clean state;
+  /// with active guards it frees what it safely can.
+  void flush();
+
+  /// Number of retired-but-not-yet-freed objects (approximate under
+  /// concurrency; exact at quiescence).
+  std::size_t pending_retired() const;
+
+  /// Lower threshold = more frequent reclamation attempts. Exposed for the
+  /// failure-injection tests which force reclamation on every retire.
+  void set_retire_threshold(std::size_t n) { retire_threshold_ = n; }
+
+  std::uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct alignas(sync::kCacheLineSize) Record {
+    std::atomic<std::uint64_t> pinned_epoch{0};  // 0 = not pinned
+    std::atomic<bool> in_use{false};
+    unsigned guard_depth = 0;        // owner thread only
+    std::vector<Retired> retired;    // owner thread, or domain at flush
+    std::size_t since_last_scan = 0; // owner thread only
+  };
+
+  Record* acquire_record();
+  void pin(Record& rec);
+  void unpin(Record& rec);
+  bool try_advance();
+  void free_eligible(Record& rec);
+  void release_record_of_exiting_thread(Record* rec);
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::uint64_t uid_;  // distinguishes reincarnated domains at one address
+  std::size_t retire_threshold_ = kDefaultRetireThreshold;
+  Record records_[kMaxThreads];
+
+  friend class Guard;
+  friend struct TlsCache;
+};
+
+class EbrDomain::Guard {
+ public:
+  Guard(Guard&& o) noexcept : domain_(o.domain_), rec_(o.rec_) {
+    o.rec_ = nullptr;
+  }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+  ~Guard() {
+    if (rec_ != nullptr && --rec_->guard_depth == 0) domain_->unpin(*rec_);
+  }
+
+ private:
+  Guard(EbrDomain* d, Record* r) : domain_(d), rec_(r) {}
+  EbrDomain* domain_;
+  Record* rec_;
+  friend class EbrDomain;
+};
+
+}  // namespace lot::reclaim

@@ -1,0 +1,216 @@
+// Sequential AVL map. Serves three roles: the single-threaded performance
+// reference for the ablation benches, an independently-implemented oracle
+// for differential tests (alongside std::map), and a worked example of the
+// exact rotation rules the concurrent tree must converge to at quiescence.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace lot::seq {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class AvlMap {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  AvlMap() = default;
+  ~AvlMap() { destroy(root_); }
+  AvlMap(const AvlMap&) = delete;
+  AvlMap& operator=(const AvlMap&) = delete;
+
+  static std::string_view name() { return "seq-avl"; }
+
+  bool insert(const K& k, const V& v) {
+    bool inserted = false;
+    root_ = insert_at(root_, k, v, inserted);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  bool erase(const K& k) {
+    bool erased = false;
+    root_ = erase_at(root_, k, erased);
+    if (erased) --size_;
+    return erased;
+  }
+
+  bool contains(const K& k) const { return find(k) != nullptr; }
+
+  std::optional<V> get(const K& k) const {
+    const Node* n = find(k);
+    if (n == nullptr) return std::nullopt;
+    return n->value;
+  }
+
+  std::optional<std::pair<K, V>> min() const {
+    const Node* n = root_;
+    if (n == nullptr) return std::nullopt;
+    while (n->left != nullptr) n = n->left;
+    return std::make_pair(n->key, n->value);
+  }
+
+  std::optional<std::pair<K, V>> max() const {
+    const Node* n = root_;
+    if (n == nullptr) return std::nullopt;
+    while (n->right != nullptr) n = n->right;
+    return std::make_pair(n->key, n->value);
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    in_order(root_, fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::int32_t height() const { return height_of(root_); }
+
+  /// True iff every node satisfies the AVL invariant (test hook).
+  bool is_balanced() const { return check(root_).second; }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    std::int32_t height = 1;
+    Node(K k, V v) : key(std::move(k)), value(std::move(v)) {}
+  };
+
+  static std::int32_t height_of(const Node* n) {
+    return n == nullptr ? 0 : n->height;
+  }
+
+  static void update(Node* n) {
+    n->height = 1 + std::max(height_of(n->left), height_of(n->right));
+  }
+
+  static std::int32_t balance(const Node* n) {
+    return height_of(n->left) - height_of(n->right);
+  }
+
+  static Node* rotate_right(Node* y) {
+    Node* x = y->left;
+    y->left = x->right;
+    x->right = y;
+    update(y);
+    update(x);
+    return x;
+  }
+
+  static Node* rotate_left(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    y->left = x;
+    update(x);
+    update(y);
+    return y;
+  }
+
+  static Node* fixup(Node* n) {
+    update(n);
+    const std::int32_t bf = balance(n);
+    if (bf > 1) {
+      if (balance(n->left) < 0) n->left = rotate_left(n->left);
+      return rotate_right(n);
+    }
+    if (bf < -1) {
+      if (balance(n->right) > 0) n->right = rotate_right(n->right);
+      return rotate_left(n);
+    }
+    return n;
+  }
+
+  Node* insert_at(Node* n, const K& k, const V& v, bool& inserted) {
+    if (n == nullptr) {
+      inserted = true;
+      return new Node(k, v);
+    }
+    if (comp_(k, n->key)) {
+      n->left = insert_at(n->left, k, v, inserted);
+    } else if (comp_(n->key, k)) {
+      n->right = insert_at(n->right, k, v, inserted);
+    } else {
+      return n;  // present: insert-if-absent semantics, like the paper
+    }
+    return fixup(n);
+  }
+
+  Node* erase_at(Node* n, const K& k, bool& erased) {
+    if (n == nullptr) return nullptr;
+    if (comp_(k, n->key)) {
+      n->left = erase_at(n->left, k, erased);
+    } else if (comp_(n->key, k)) {
+      n->right = erase_at(n->right, k, erased);
+    } else {
+      erased = true;
+      if (n->left == nullptr || n->right == nullptr) {
+        Node* child = n->left != nullptr ? n->left : n->right;
+        delete n;
+        return child == nullptr ? nullptr : fixup(child);
+      }
+      // Two children: replace with in-order successor, as the concurrent
+      // tree does physically.
+      Node* s = n->right;
+      while (s->left != nullptr) s = s->left;
+      n->key = s->key;
+      n->value = s->value;
+      bool dummy = false;
+      n->right = erase_at(n->right, s->key, dummy);
+    }
+    return fixup(n);
+  }
+
+  const Node* find(const K& k) const {
+    const Node* n = root_;
+    while (n != nullptr) {
+      if (comp_(k, n->key)) {
+        n = n->left;
+      } else if (comp_(n->key, k)) {
+        n = n->right;
+      } else {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  template <typename F>
+  static void in_order(const Node* n, F& fn) {
+    if (n == nullptr) return;
+    in_order(n->left, fn);
+    fn(n->key, n->value);
+    in_order(n->right, fn);
+  }
+
+  std::pair<std::int32_t, bool> check(const Node* n) const {
+    if (n == nullptr) return {0, true};
+    auto [lh, lok] = check(n->left);
+    auto [rh, rok] = check(n->right);
+    const bool ok = lok && rok && std::abs(lh - rh) <= 1 &&
+                    n->height == 1 + std::max(lh, rh);
+    return {1 + std::max(lh, rh), ok};
+  }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  Compare comp_;
+};
+
+}  // namespace lot::seq

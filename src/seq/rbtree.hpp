@@ -1,0 +1,354 @@
+// Sequential red-black tree. Exists for the §2 background claim the paper
+// takes from Pfaff (SIGMETRICS'04): between AVL and red-black trees there
+// is no clear sequential winner, but AVL trees have shorter search paths.
+// bench/ablation_avl_vs_rb reproduces that comparison against seq::AvlMap.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace lot::seq {
+
+template <typename K, typename V, typename Compare = std::less<K>>
+class RbTreeMap {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  RbTreeMap() = default;
+  ~RbTreeMap() { destroy(root_); }
+  RbTreeMap(const RbTreeMap&) = delete;
+  RbTreeMap& operator=(const RbTreeMap&) = delete;
+
+  static std::string_view name() { return "seq-rbtree"; }
+
+  bool insert(const K& k, const V& v) {
+    Node* parent = nullptr;
+    Node** link = &root_;
+    while (*link != nullptr) {
+      parent = *link;
+      if (comp_(k, parent->key)) {
+        link = &parent->left;
+      } else if (comp_(parent->key, k)) {
+        link = &parent->right;
+      } else {
+        return false;
+      }
+    }
+    Node* n = new Node(k, v);
+    n->parent = parent;
+    *link = n;
+    ++size_;
+    fix_insert(n);
+    return true;
+  }
+
+  bool erase(const K& k) {
+    Node* n = find(k);
+    if (n == nullptr) return false;
+    erase_node(n);
+    --size_;
+    return true;
+  }
+
+  bool contains(const K& k) const { return find(k) != nullptr; }
+
+  std::optional<V> get(const K& k) const {
+    const Node* n = find(k);
+    if (n == nullptr) return std::nullopt;
+    return n->value;
+  }
+
+  std::optional<std::pair<K, V>> min() const {
+    if (root_ == nullptr) return std::nullopt;
+    const Node* n = minimum(root_);
+    return std::make_pair(n->key, n->value);
+  }
+
+  std::optional<std::pair<K, V>> max() const {
+    const Node* n = root_;
+    if (n == nullptr) return std::nullopt;
+    while (n->right != nullptr) n = n->right;
+    return std::make_pair(n->key, n->value);
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    in_order(root_, fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::int32_t height() const { return height_of(root_); }
+
+  /// Sum of node depths (root = 1) over all nodes: average search path
+  /// length = total_depth / size. The Pfaff-comparison metric.
+  std::uint64_t total_depth() const { return depth_sum(root_, 1); }
+
+  /// Checks the red-black invariants (test hook): root black, no red-red
+  /// parent/child, equal black height on every root-leaf path, BST order.
+  bool is_valid_rb() const {
+    if (root_ == nullptr) return true;
+    if (root_->red) return false;
+    return check(root_).first >= 0;
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    bool red = true;
+    Node* parent = nullptr;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node(K k, V v) : key(std::move(k)), value(std::move(v)) {}
+  };
+
+  static bool is_red(const Node* n) { return n != nullptr && n->red; }
+
+  Node* find(const K& k) const {
+    Node* n = root_;
+    while (n != nullptr) {
+      if (comp_(k, n->key)) {
+        n = n->left;
+      } else if (comp_(n->key, k)) {
+        n = n->right;
+      } else {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  void rotate_left(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nullptr) y->left->parent = x;
+    y->parent = x->parent;
+    replace_in_parent(x, y);
+    y->left = x;
+    x->parent = y;
+  }
+
+  void rotate_right(Node* x) {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nullptr) y->right->parent = x;
+    y->parent = x->parent;
+    replace_in_parent(x, y);
+    y->right = x;
+    x->parent = y;
+  }
+
+  void replace_in_parent(Node* x, Node* y) {
+    if (x->parent == nullptr) {
+      root_ = y;
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+    } else {
+      x->parent->right = y;
+    }
+  }
+
+  void fix_insert(Node* z) {
+    while (is_red(z->parent)) {
+      Node* p = z->parent;
+      Node* g = p->parent;
+      if (p == g->left) {
+        Node* u = g->right;
+        if (is_red(u)) {
+          p->red = false;
+          u->red = false;
+          g->red = true;
+          z = g;
+        } else {
+          if (z == p->right) {
+            z = p;
+            rotate_left(z);
+            p = z->parent;
+          }
+          p->red = false;
+          g->red = true;
+          rotate_right(g);
+        }
+      } else {
+        Node* u = g->left;
+        if (is_red(u)) {
+          p->red = false;
+          u->red = false;
+          g->red = true;
+          z = g;
+        } else {
+          if (z == p->left) {
+            z = p;
+            rotate_right(z);
+            p = z->parent;
+          }
+          p->red = false;
+          g->red = true;
+          rotate_left(g);
+        }
+      }
+    }
+    root_->red = false;
+  }
+
+  static Node* minimum(Node* n) {
+    while (n->left != nullptr) n = n->left;
+    return n;
+  }
+
+  void erase_node(Node* z) {
+    Node* y = z;  // node physically removed or moved
+    bool y_was_red = y->red;
+    Node* x = nullptr;         // child that replaces y
+    Node* x_parent = nullptr;  // x's parent after the splice
+
+    if (z->left == nullptr) {
+      x = z->right;
+      x_parent = z->parent;
+      transplant(z, z->right);
+    } else if (z->right == nullptr) {
+      x = z->left;
+      x_parent = z->parent;
+      transplant(z, z->left);
+    } else {
+      y = minimum(z->right);
+      y_was_red = y->red;
+      x = y->right;
+      if (y->parent == z) {
+        x_parent = y;
+      } else {
+        x_parent = y->parent;
+        transplant(y, y->right);
+        y->right = z->right;
+        y->right->parent = y;
+      }
+      transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->red = z->red;
+    }
+    delete z;
+    if (!y_was_red) fix_erase(x, x_parent);
+  }
+
+  void transplant(Node* u, Node* v) {
+    replace_in_parent(u, v);
+    if (v != nullptr) v->parent = u->parent;
+  }
+
+  void fix_erase(Node* x, Node* x_parent) {
+    while (x != root_ && !is_red(x)) {
+      if (x_parent == nullptr) break;
+      if (x == x_parent->left) {
+        Node* w = x_parent->right;
+        if (is_red(w)) {
+          w->red = false;
+          x_parent->red = true;
+          rotate_left(x_parent);
+          w = x_parent->right;
+        }
+        if (!is_red(w->left) && !is_red(w->right)) {
+          w->red = true;
+          x = x_parent;
+          x_parent = x->parent;
+        } else {
+          if (!is_red(w->right)) {
+            if (w->left != nullptr) w->left->red = false;
+            w->red = true;
+            rotate_right(w);
+            w = x_parent->right;
+          }
+          w->red = x_parent->red;
+          x_parent->red = false;
+          if (w->right != nullptr) w->right->red = false;
+          rotate_left(x_parent);
+          x = root_;
+          x_parent = nullptr;
+        }
+      } else {
+        Node* w = x_parent->left;
+        if (is_red(w)) {
+          w->red = false;
+          x_parent->red = true;
+          rotate_right(x_parent);
+          w = x_parent->left;
+        }
+        if (!is_red(w->right) && !is_red(w->left)) {
+          w->red = true;
+          x = x_parent;
+          x_parent = x->parent;
+        } else {
+          if (!is_red(w->left)) {
+            if (w->right != nullptr) w->right->red = false;
+            w->red = true;
+            rotate_left(w);
+            w = x_parent->left;
+          }
+          w->red = x_parent->red;
+          x_parent->red = false;
+          if (w->left != nullptr) w->left->red = false;
+          rotate_right(x_parent);
+          x = root_;
+          x_parent = nullptr;
+        }
+      }
+    }
+    if (x != nullptr) x->red = false;
+  }
+
+  template <typename F>
+  static void in_order(const Node* n, F& fn) {
+    if (n == nullptr) return;
+    in_order(n->left, fn);
+    fn(n->key, n->value);
+    in_order(n->right, fn);
+  }
+
+  static std::int32_t height_of(const Node* n) {
+    if (n == nullptr) return 0;
+    const auto l = height_of(n->left);
+    const auto r = height_of(n->right);
+    return 1 + (l > r ? l : r);
+  }
+
+  static std::uint64_t depth_sum(const Node* n, std::uint64_t depth) {
+    if (n == nullptr) return 0;
+    return depth + depth_sum(n->left, depth + 1) +
+           depth_sum(n->right, depth + 1);
+  }
+
+  // Returns (black height, ok) where black height is -1 on violation.
+  std::pair<int, bool> check(const Node* n) const {
+    if (n == nullptr) return {1, true};
+    if (is_red(n) && (is_red(n->left) || is_red(n->right))) return {-1, false};
+    if (n->left != nullptr && !comp_(n->left->key, n->key)) return {-1, false};
+    if (n->right != nullptr && !comp_(n->key, n->right->key)) {
+      return {-1, false};
+    }
+    const auto [lh, lok] = check(n->left);
+    const auto [rh, rok] = check(n->right);
+    if (!lok || !rok || lh != rh || lh < 0) return {-1, false};
+    return {lh + (n->red ? 0 : 1), true};
+  }
+
+  void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  Compare comp_;
+};
+
+}  // namespace lot::seq

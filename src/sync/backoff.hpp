@@ -1,0 +1,44 @@
+// Bounded exponential backoff for contended atomic retry loops.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lot::sync {
+
+/// Pauses the pipeline briefly; the polite thing to do inside a spin loop.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff that escalates from pipeline pauses to scheduler
+/// yields. Yielding matters on machines with fewer cores than threads:
+/// spinning against a preempted lock holder without yielding is a livelock
+/// in practice.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (spins_ < kMaxSpins) {
+      for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+      spins_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 1; }
+
+ private:
+  static constexpr std::uint32_t kMaxSpins = 64;
+  std::uint32_t spins_ = 1;
+};
+
+}  // namespace lot::sync

@@ -1,0 +1,36 @@
+// Sense-reversing barrier used to start benchmark threads together.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "sync/backoff.hpp"
+
+namespace lot::sync {
+
+/// Reusable barrier. Unlike std::barrier this spins-then-yields, which is
+/// the right behaviour for short waits in benchmark start lines.
+class ThreadBarrier {
+ public:
+  explicit ThreadBarrier(std::size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      Backoff backoff;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        backoff.pause();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace lot::sync

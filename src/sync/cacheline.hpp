@@ -1,0 +1,28 @@
+// Cache-line geometry helpers shared by the concurrent data structures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace lot::sync {
+
+// Fixed at 64 (x86-64 / most ARM64): std::hardware_destructive_interference_size
+// can vary with -mtune and would make the node ABI flag-dependent.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value in its own cache line to prevent false sharing between
+/// adjacent per-thread slots (counters, epoch records, ...).
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+
+  CachePadded() = default;
+  explicit CachePadded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace lot::sync

@@ -1,0 +1,48 @@
+// One-byte test-and-test-and-set spinlock used for the per-node treeLock
+// and succLock. A std::mutex is 40 bytes on glibc; with two locks per tree
+// node that would triple the node size, so we roll a compact lock with the
+// same BasicLockable/Lockable interface.
+#pragma once
+
+#include <atomic>
+
+#include "sync/backoff.hpp"
+
+namespace lot::sync {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a plain load first so the waiting threads do not keep the
+      // line in modified state, then back off (and eventually yield).
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  /// Diagnostic only — racy by nature; used by invariant checkers at
+  /// quiescence to assert that no lock leaked.
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+static_assert(sizeof(SpinLock) == 1);
+
+}  // namespace lot::sync

@@ -1,0 +1,37 @@
+// Minimal --key=value flag parser shared by the benchmark drivers and
+// examples. Deliberately tiny: no subcommands, no help generation beyond a
+// usage dump of registered flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lot::util {
+
+class Cli {
+ public:
+  /// Parses argv of the form: prog --threads=4 --range=20000 --secs=2
+  /// Unknown flags are collected and reported by unknown_flags().
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  /// Comma-separated integer list, e.g. --threads=1,2,4,8
+  std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> fallback) const;
+
+  const std::vector<std::string>& unknown_flags() const { return unknown_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> unknown_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lot::util

@@ -1,0 +1,23 @@
+// Summary statistics for repeated benchmark trials.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lot::util {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t n = 0;
+};
+
+/// Arithmetic mean / sample stddev / extrema of a set of trial results.
+Summary summarize(const std::vector<double>& samples);
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace lot::util

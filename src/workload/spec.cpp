@@ -1,0 +1,27 @@
+#include "workload/spec.hpp"
+
+namespace lot::workload {
+
+Spec make_spec(Mix mix, std::int64_t key_range) {
+  switch (mix) {
+    case Mix::k100C:
+      return {"100C-0I-0R", 100, 0, 0, key_range};
+    case Mix::k70C20I10R:
+      return {"70C-20I-10R", 70, 20, 10, key_range};
+    case Mix::k50C25I25R:
+      return {"50C-25I-25R", 50, 25, 25, key_range};
+  }
+  return {"100C-0I-0R", 100, 0, 0, key_range};
+}
+
+std::string mix_name(Mix mix) { return make_spec(mix, 0).name; }
+
+std::vector<std::int64_t> paper_key_ranges() {
+  return {20'000, 200'000, 2'000'000};
+}
+
+std::vector<Mix> paper_mixes() {
+  return {Mix::k50C25I25R, Mix::k70C20I10R, Mix::k100C};
+}
+
+}  // namespace lot::workload

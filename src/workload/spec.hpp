@@ -1,0 +1,42 @@
+// Workload specification mirroring the paper's evaluation (§6): an
+// operation mix (contains/insert/remove percentages), a key range, and the
+// prefill discipline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lot::workload {
+
+struct Spec {
+  std::string name;        // e.g. "70C-20I-10R"
+  unsigned contains_pct;   // percentage of contains ops
+  unsigned insert_pct;     // percentage of insert ops
+  unsigned remove_pct;     // percentage of remove ops
+  std::int64_t key_range;  // keys drawn uniformly from [0, key_range)
+
+  /// Steady-state size the structure is prefilled to before the timed
+  /// trial. The paper fills to 1/2 of the range for symmetric mixes and to
+  /// 2/3 for the 2:1 insert:remove mix (the expected steady-state size).
+  std::int64_t prefill_target() const {
+    if (insert_pct == remove_pct) return key_range / 2;
+    const double ratio = static_cast<double>(insert_pct) /
+                         static_cast<double>(insert_pct + remove_pct);
+    return static_cast<std::int64_t>(static_cast<double>(key_range) * ratio);
+  }
+};
+
+/// The three mixes evaluated in the paper.
+enum class Mix { k100C, k70C20I10R, k50C25I25R };
+
+Spec make_spec(Mix mix, std::int64_t key_range);
+std::string mix_name(Mix mix);
+
+/// The paper's key ranges: 2e4, 2e5, 2e6.
+std::vector<std::int64_t> paper_key_ranges();
+
+/// All paper mixes in the order of Table 1's columns.
+std::vector<Mix> paper_mixes();
+
+}  // namespace lot::workload

@@ -1,0 +1,182 @@
+// Unit and stress tests for the epoch-based reclamation domain — the
+// substrate standing in for the JVM garbage collector (DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "reclaim/ebr.hpp"
+
+namespace {
+
+using lot::reclaim::EbrDomain;
+
+struct Tracked {
+  static std::atomic<int> live;
+  int payload = 0;
+  Tracked() { live.fetch_add(1); }
+  explicit Tracked(int p) : payload(p) { live.fetch_add(1); }
+  ~Tracked() { live.fetch_sub(1); }
+};
+std::atomic<int> Tracked::live{0};
+
+TEST(Ebr, RetiredObjectsFreedAfterFlush) {
+  EbrDomain domain;
+  for (int i = 0; i < 100; ++i) domain.retire(new Tracked());
+  EXPECT_GT(Tracked::live.load(), 0);
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+  EXPECT_EQ(domain.pending_retired(), 0u);
+}
+
+TEST(Ebr, GuardBlocksReclamation) {
+  EbrDomain domain;
+  domain.set_retire_threshold(1);  // reclaim eagerly
+  {
+    auto guard = domain.guard();
+    for (int i = 0; i < 50; ++i) domain.retire(new Tracked());
+    // Our own pin holds the epoch back: nothing retired during this guard
+    // may be freed while it is active.
+    EXPECT_GT(Tracked::live.load(), 0);
+  }
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(Ebr, NestedGuardsAreReentrant) {
+  EbrDomain domain;
+  {
+    auto g1 = domain.guard();
+    auto g2 = domain.guard();
+    auto g3 = domain.guard();
+    domain.retire(new Tracked());
+  }
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(Ebr, EpochAdvancesWhenUnpinned) {
+  EbrDomain domain;
+  const auto before = domain.epoch();
+  domain.set_retire_threshold(1);
+  domain.retire(new Tracked());
+  domain.retire(new Tracked());
+  EXPECT_GT(domain.epoch(), before);
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(Ebr, StragglerPinPreventsAdvance) {
+  EbrDomain domain;
+  domain.set_retire_threshold(1);
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread straggler([&] {
+    auto g = domain.guard();
+    pinned = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+
+  const auto epoch_at_pin = domain.epoch();
+  for (int i = 0; i < 20; ++i) domain.retire(new Tracked());
+  // The straggler pins epoch_at_pin; the global epoch can advance at most
+  // once past it, so nothing retired now can complete the two-epoch trip.
+  EXPECT_LE(domain.epoch(), epoch_at_pin + 1);
+  EXPECT_GT(Tracked::live.load(), 0);
+
+  release = true;
+  straggler.join();
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(Ebr, DestructorFreesEverythingPending) {
+  {
+    EbrDomain domain;
+    for (int i = 0; i < 500; ++i) domain.retire(new Tracked(i));
+  }
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(Ebr, ThreadsRecycleRecords) {
+  // More thread lifetimes than kMaxThreads records: exiting threads must
+  // hand their records back.
+  EbrDomain domain;
+  for (std::size_t round = 0; round < EbrDomain::kMaxThreads + 10; ++round) {
+    std::thread t([&] {
+      auto g = domain.guard();
+      domain.retire(new Tracked());
+    });
+    t.join();
+  }
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+// Failure-injection flavour: tiny threshold + many threads hammering
+// retire while readers hold guards. The assertion is simply that we
+// neither crash nor leak (valgrind-less proxy: the live counter).
+TEST(Ebr, ConcurrentRetireStress) {
+  EbrDomain domain;
+  domain.set_retire_threshold(4);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto g = domain.guard();
+        domain.retire(new Tracked(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  domain.flush();
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+// A reader must be able to keep using an object that was retired while the
+// reader's guard was active.
+TEST(Ebr, UseAfterRetireWithinGuardIsSafe) {
+  EbrDomain domain;
+  domain.set_retire_threshold(1);
+  auto* obj = new Tracked(42);
+  std::atomic<Tracked*> shared{obj};
+  std::atomic<bool> reader_has_ref{false};
+  std::atomic<bool> retired{false};
+  std::atomic<int> observed{0};
+
+  std::thread reader([&] {
+    auto g = domain.guard();
+    Tracked* p = shared.load();
+    reader_has_ref = true;
+    while (!retired.load()) std::this_thread::yield();
+    // Hammer the domain with more retires from this thread to tempt a
+    // premature free, then read through the retired pointer.
+    for (int i = 0; i < 100; ++i) domain.retire(new Tracked(i));
+    observed = p->payload;
+  });
+
+  while (!reader_has_ref.load()) std::this_thread::yield();
+  shared.store(nullptr);
+  domain.retire(obj);
+  retired = true;
+  reader.join();
+
+  EXPECT_EQ(observed.load(), 42);
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+}  // namespace

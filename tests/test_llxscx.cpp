@@ -1,0 +1,193 @@
+// White-box tests for the LLX/SCX substrate (Brown et al.'s primitive)
+// independent of the tree built on it: snapshot semantics, freeze/commit,
+// conflict aborts, finalization, helping, and record reclamation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/llxscx/llxscx.hpp"
+#include "reclaim/ebr.hpp"
+
+namespace {
+
+namespace lx = lot::baselines::llxscx;
+
+struct TestNode {
+  int id = 0;
+  std::atomic<TestNode*> left{nullptr};
+  std::atomic<TestNode*> right{nullptr};
+  std::atomic<lx::ScxRecord<TestNode>*> info;
+  std::atomic<bool> finalized{false};
+
+  explicit TestNode(int i)
+      : id(i), info(lx::dummy_record<TestNode>()) {}
+};
+
+using Rec = lx::ScxRecord<TestNode>;
+
+class LlxScxTest : public ::testing::Test {
+ protected:
+  lot::reclaim::EbrDomain domain_;
+
+  TestNode* make(int id) { return lot::reclaim::make_counted<TestNode>(id); }
+
+  bool do_scx(std::vector<TestNode*> v, std::vector<Rec*> infos,
+              std::vector<TestNode*> fin, std::atomic<TestNode*>* field,
+              TestNode* oldc, TestNode* newc) {
+    return lx::scx<TestNode>(v.data(), infos.data(), v.size(), fin.data(),
+                             fin.size(), field, oldc, newc, domain_);
+  }
+};
+
+TEST_F(LlxScxTest, LlxReturnsConsistentSnapshot) {
+  TestNode* a = make(1);
+  TestNode* b = make(2);
+  TestNode* c = make(3);
+  a->left.store(b);
+  a->right.store(c);
+  const auto r = lx::llx(a, domain_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.left, b);
+  EXPECT_EQ(r.right, c);
+  EXPECT_EQ(r.info, lx::dummy_record<TestNode>());
+  lot::reclaim::delete_counted(a);
+  lot::reclaim::delete_counted(b);
+  lot::reclaim::delete_counted(c);
+}
+
+TEST_F(LlxScxTest, ScxCommitsFieldChangeAndFinalizes) {
+  TestNode* parent = make(1);
+  TestNode* old_child = make(2);
+  TestNode* new_child = make(3);
+  parent->left.store(old_child);
+
+  auto rp = lx::llx(parent, domain_);
+  auto rc = lx::llx(old_child, domain_);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rc.ok());
+  ASSERT_TRUE(do_scx({parent, old_child}, {rp.info, rc.info}, {old_child},
+                     &parent->left, old_child, new_child));
+
+  EXPECT_EQ(parent->left.load(), new_child);
+  EXPECT_TRUE(old_child->finalized.load());
+  EXPECT_FALSE(parent->finalized.load());
+  // Parent's info is the committed record of this SCX.
+  EXPECT_EQ(parent->info.load()->state.load(), Rec::kCommitted);
+
+  // llx on a finalized node must fail forever.
+  EXPECT_FALSE(lx::llx(old_child, domain_).ok());
+  // llx on the parent succeeds again (record is terminal).
+  EXPECT_TRUE(lx::llx(parent, domain_).ok());
+}
+
+TEST_F(LlxScxTest, StaleLlxIsRejected) {
+  TestNode* parent = make(1);
+  TestNode* c1 = make(2);
+  TestNode* c2 = make(3);
+  TestNode* c3 = make(4);
+  parent->left.store(c1);
+
+  auto stale = lx::llx(parent, domain_);
+  ASSERT_TRUE(stale.ok());
+
+  // A first SCX moves the parent on; the stale LLX's info no longer
+  // matches, so a second SCX using it must abort without writing.
+  auto fresh = lx::llx(parent, domain_);
+  ASSERT_TRUE(do_scx({parent}, {fresh.info}, {}, &parent->left, c1, c2));
+  ASSERT_EQ(parent->left.load(), c2);
+
+  EXPECT_FALSE(do_scx({parent}, {stale.info}, {}, &parent->left, c2, c3));
+  EXPECT_EQ(parent->left.load(), c2);  // unchanged
+}
+
+TEST_F(LlxScxTest, MultiNodeFreezeAllOrNothing) {
+  TestNode* a = make(1);
+  TestNode* b = make(2);
+  TestNode* c = make(3);
+  a->left.store(b);
+  b->left.store(c);
+
+  auto ra = lx::llx(a, domain_);
+  auto rb = lx::llx(b, domain_);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+
+  // Invalidate b's LLX with an intervening SCX on b only.
+  auto rb2 = lx::llx(b, domain_);
+  TestNode* c2 = make(4);
+  ASSERT_TRUE(do_scx({b}, {rb2.info}, {}, &b->left, c, c2));
+
+  // Now the two-node SCX must fail and leave a untouched and unfrozen.
+  TestNode* d = make(5);
+  EXPECT_FALSE(do_scx({a, b}, {ra.info, rb.info}, {}, &a->left, b, d));
+  EXPECT_EQ(a->left.load(), b);
+  EXPECT_TRUE(lx::llx(a, domain_).ok());  // a is usable again
+  EXPECT_TRUE(lx::llx(b, domain_).ok());
+}
+
+TEST_F(LlxScxTest, ConcurrentScxOnSameNodeExactlyOneWins) {
+  for (int round = 0; round < 200; ++round) {
+    TestNode* parent = make(1);
+    TestNode* old_child = make(2);
+    TestNode* n1 = make(3);
+    TestNode* n2 = make(4);
+    parent->left.store(old_child);
+
+    auto r1 = lx::llx(parent, domain_);
+    auto r2 = lx::llx(parent, domain_);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+
+    std::atomic<int> wins{0};
+    std::thread t1([&] {
+      auto g = domain_.guard();
+      if (do_scx({parent}, {r1.info}, {}, &parent->left, old_child, n1)) {
+        wins.fetch_add(1);
+      }
+    });
+    std::thread t2([&] {
+      auto g = domain_.guard();
+      if (do_scx({parent}, {r2.info}, {}, &parent->left, old_child, n2)) {
+        wins.fetch_add(1);
+      }
+    });
+    t1.join();
+    t2.join();
+
+    // Both used the same (still current) LLX info, so one freeze wins and
+    // one aborts — never both, never neither.
+    EXPECT_EQ(wins.load(), 1);
+    TestNode* result = parent->left.load();
+    EXPECT_TRUE(result == n1 || result == n2);
+  }
+}
+
+TEST_F(LlxScxTest, RecordsAreReclaimed) {
+  const auto live_before = lot::reclaim::AllocStats::live();
+  TestNode* parent = make(1);
+  std::vector<TestNode*> children;
+  children.push_back(make(100));
+  parent->left.store(children[0]);
+  // A long chain of SCXes; each displaces the previous record, whose
+  // refcount must hit zero and reach the domain.
+  for (int i = 0; i < 500; ++i) {
+    auto r = lx::llx(parent, domain_);
+    ASSERT_TRUE(r.ok());
+    TestNode* next = make(101 + i);
+    children.push_back(next);
+    ASSERT_TRUE(do_scx({parent}, {r.info}, {}, &parent->left,
+                       children[i], next));
+  }
+  lx::dec_ref(parent->info.load(), domain_);  // release the last record
+  lot::reclaim::delete_counted(parent);
+  for (auto* c : children) lot::reclaim::delete_counted(c);
+  domain_.flush();
+  domain_.flush();
+  domain_.flush();
+  EXPECT_EQ(lot::reclaim::AllocStats::live(), live_before);
+}
+
+}  // namespace

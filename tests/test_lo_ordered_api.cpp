@@ -1,0 +1,284 @@
+// Tests for the ordered-access extensions built on the logical ordering
+// (paper §4.7 and natural follow-ons): range scans, successor/predecessor
+// queries, min/max — sequential semantics and behaviour under churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lo/avl.hpp"
+#include "lo/bst.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using K = std::int64_t;
+using V = std::int64_t;
+using lot::lo::AvlMap;
+using lot::lo::BstMap;
+using lot::util::Xoshiro256;
+
+template <typename MapT>
+class OrderedApiTest : public ::testing::Test {};
+using Impls = ::testing::Types<BstMap<K, V>, AvlMap<K, V>>;
+TYPED_TEST_SUITE(OrderedApiTest, Impls);
+
+TYPED_TEST(OrderedApiTest, RangeBasics) {
+  TypeParam m;
+  for (K k = 0; k < 100; k += 10) ASSERT_TRUE(m.insert(k, k * 2));
+
+  std::vector<K> got;
+  m.range(25, 75, [&](K k, V v) {
+    got.push_back(k);
+    EXPECT_EQ(v, k * 2);
+  });
+  EXPECT_EQ(got, (std::vector<K>{30, 40, 50, 60, 70}));
+
+  // Inclusive lower bound, exclusive upper bound.
+  got.clear();
+  m.range(30, 70, [&](K k, V) { got.push_back(k); });
+  EXPECT_EQ(got, (std::vector<K>{30, 40, 50, 60}));
+
+  // Empty and degenerate ranges.
+  got.clear();
+  m.range(41, 49, [&](K k, V) { got.push_back(k); });
+  EXPECT_TRUE(got.empty());
+  m.range(50, 50, [&](K k, V) { got.push_back(k); });
+  EXPECT_TRUE(got.empty());
+  m.range(70, 30, [&](K k, V) { got.push_back(k); });
+  EXPECT_TRUE(got.empty());
+
+  // Ranges covering everything / beyond the extremes.
+  got.clear();
+  m.range(-1'000, 1'000, [&](K k, V) { got.push_back(k); });
+  EXPECT_EQ(got.size(), 10u);
+}
+
+TYPED_TEST(OrderedApiTest, NextPrevBasics) {
+  TypeParam m;
+  for (K k : {10, 20, 30, 40}) ASSERT_TRUE(m.insert(k, k));
+
+  EXPECT_EQ(m.next(5).value().first, 10);
+  EXPECT_EQ(m.next(10).value().first, 20);
+  EXPECT_EQ(m.next(15).value().first, 20);
+  EXPECT_EQ(m.next(39).value().first, 40);
+  EXPECT_FALSE(m.next(40).has_value());
+  EXPECT_FALSE(m.next(100).has_value());
+
+  EXPECT_FALSE(m.prev(10).has_value());
+  EXPECT_FALSE(m.prev(5).has_value());
+  EXPECT_EQ(m.prev(11).value().first, 10);
+  EXPECT_EQ(m.prev(40).value().first, 30);
+  EXPECT_EQ(m.prev(100).value().first, 40);
+}
+
+TYPED_TEST(OrderedApiTest, NextPrevDifferentialVsStdMap) {
+  TypeParam m;
+  std::map<K, V> oracle;
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 20'000; ++i) {
+    const K k = rng.next_in(0, 499);
+    if (rng.percent(60)) {
+      m.insert(k, k);
+      oracle.emplace(k, k);
+    } else {
+      m.erase(k);
+      oracle.erase(k);
+    }
+    if (i % 10 == 0) {
+      const K probe = rng.next_in(-5, 505);
+      const auto nx = m.next(probe);
+      auto it = oracle.upper_bound(probe);
+      ASSERT_EQ(nx.has_value(), it != oracle.end()) << probe;
+      if (nx) ASSERT_EQ(nx->first, it->first) << probe;
+
+      const auto pv = m.prev(probe);
+      auto lo = oracle.lower_bound(probe);
+      ASSERT_EQ(pv.has_value(), lo != oracle.begin()) << probe;
+      if (pv) ASSERT_EQ(pv->first, std::prev(lo)->first) << probe;
+    }
+  }
+}
+
+TYPED_TEST(OrderedApiTest, RangeDifferentialVsStdMap) {
+  TypeParam m;
+  std::map<K, V> oracle;
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 5'000; ++i) {
+    const K k = rng.next_in(0, 999);
+    if (rng.percent(55)) {
+      m.insert(k, k);
+      oracle.emplace(k, k);
+    } else {
+      m.erase(k);
+      oracle.erase(k);
+    }
+    if (i % 50 == 0) {
+      const K lo = rng.next_in(0, 900);
+      const K hi = lo + rng.next_in(1, 100);
+      std::vector<K> mine;
+      m.range(lo, hi, [&](K key, V) { mine.push_back(key); });
+      std::vector<K> expect;
+      for (auto it = oracle.lower_bound(lo);
+           it != oracle.end() && it->first < hi; ++it) {
+        expect.push_back(it->first);
+      }
+      ASSERT_EQ(mine, expect) << "[" << lo << "," << hi << ")";
+    }
+  }
+}
+
+// Keys inside the scanned range that are never touched by writers must
+// always appear in a concurrent range scan; keys outside never.
+TYPED_TEST(OrderedApiTest, RangeDuringChurnSeesStableKeys) {
+  TypeParam m;
+  constexpr K kRange = 3'000;
+  std::set<K> stable;
+  for (K k = 1'000; k < 2'000; k += 10) {
+    ASSERT_TRUE(m.insert(k, k));
+    stable.insert(k);
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(600 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        K k = static_cast<K>(rng.next_below(kRange));
+        if (k % 10 == 0 && k >= 1'000 && k < 2'000) ++k;
+        if (rng.percent(50)) {
+          m.insert(k, k);
+        } else {
+          m.erase(k);
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 200; ++round) {
+    std::vector<K> seen;
+    m.range(1'000, 2'000, [&](K k, V) { seen.push_back(k); });
+    for (std::size_t i = 1; i < seen.size(); ++i) {
+      ASSERT_LT(seen[i - 1], seen[i]);
+    }
+    std::set<K> seen_set(seen.begin(), seen.end());
+    for (K k : stable) ASSERT_TRUE(seen_set.count(k)) << k;
+    for (K k : seen) {
+      ASSERT_GE(k, 1'000);
+      ASSERT_LT(k, 2'000);
+    }
+  }
+  stop = true;
+  for (auto& th : writers) th.join();
+}
+
+TYPED_TEST(OrderedApiTest, CursorIteratesInOrder) {
+  TypeParam m;
+  for (K k : {30, 10, 50, 20, 40}) ASSERT_TRUE(m.insert(k, k * 3));
+  auto c = m.cursor();
+  std::vector<K> got;
+  while (auto e = c.next()) {
+    got.push_back(e->first);
+    EXPECT_EQ(e->second, e->first * 3);
+  }
+  EXPECT_EQ(got, (std::vector<K>{10, 20, 30, 40, 50}));
+  EXPECT_FALSE(c.next().has_value());  // stays exhausted
+}
+
+TYPED_TEST(OrderedApiTest, CursorOnEmptyMap) {
+  TypeParam m;
+  auto c = m.cursor();
+  EXPECT_FALSE(c.next().has_value());
+}
+
+TYPED_TEST(OrderedApiTest, CursorSurvivesRemovalOfCurrentKey) {
+  TypeParam m;
+  for (K k = 0; k < 100; k += 10) ASSERT_TRUE(m.insert(k, k));
+  auto c = m.cursor();
+  auto e = c.next();
+  ASSERT_EQ(e->first, 0);
+  // Remove the key the cursor sits on plus the next one; the cursor must
+  // keep walking through the retired nodes' still-valid succ pointers.
+  ASSERT_TRUE(m.erase(0));
+  ASSERT_TRUE(m.erase(10));
+  e = c.next();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->first, 20);
+}
+
+TYPED_TEST(OrderedApiTest, CursorDuringChurnMonotone) {
+  TypeParam m;
+  constexpr K kRange = 1'000;
+  for (K k = 0; k < kRange; k += 4) ASSERT_TRUE(m.insert(k, k));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Xoshiro256 rng(3);
+    while (!stop.load(std::memory_order_relaxed)) {
+      K k = static_cast<K>(rng.next_below(kRange));
+      if (k % 4 == 0) ++k;
+      if (rng.percent(50)) {
+        m.insert(k, k);
+      } else {
+        m.erase(k);
+      }
+    }
+  });
+  for (int round = 0; round < 300; ++round) {
+    auto c = m.cursor();
+    K last = -1;
+    std::size_t stable_seen = 0;
+    while (auto e = c.next()) {
+      ASSERT_GT(e->first, last);
+      last = e->first;
+      if (e->first % 4 == 0) ++stable_seen;
+    }
+    ASSERT_EQ(stable_seen, kRange / 4);  // untouched keys always appear
+  }
+  stop = true;
+  writer.join();
+}
+
+// next() chains must always move strictly forward, even under churn (no
+// duplicates, no regressions — the succ-walk termination argument).
+TYPED_TEST(OrderedApiTest, NextChainMonotoneUnderChurn) {
+  TypeParam m;
+  constexpr K kRange = 2'000;
+  for (K k = 0; k < kRange; k += 5) ASSERT_TRUE(m.insert(k, k));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(700 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        K k = static_cast<K>(rng.next_below(kRange));
+        if (k % 5 == 0) ++k;
+        if (rng.percent(50)) {
+          m.insert(k, k);
+        } else {
+          m.erase(k);
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 100; ++round) {
+    K cursor = -1;
+    std::size_t steps = 0;
+    for (;;) {
+      const auto nx = m.next(cursor);
+      if (!nx) break;
+      ASSERT_GT(nx->first, cursor);
+      cursor = nx->first;
+      ASSERT_LT(++steps, 10'000u);  // termination guard
+    }
+    ASSERT_GE(steps, kRange / 5);  // at least all the stable keys
+  }
+  stop = true;
+  for (auto& th : writers) th.join();
+}
+
+}  // namespace

@@ -1,0 +1,257 @@
+// Single-threaded functional tests for the logical-ordering trees: API
+// semantics, the paper's running examples, structural invariants after
+// deterministic op sequences, and a randomized differential test against
+// std::map. Both variants (BST and AVL) run through the same typed suite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "lo/avl.hpp"
+#include "lo/bst.hpp"
+#include "lo/validate.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using lot::lo::AvlMap;
+using lot::lo::BstMap;
+
+template <typename MapT>
+class LoSequentialTest : public ::testing::Test {
+ protected:
+  static constexpr bool kBalanced =
+      std::is_same_v<MapT, AvlMap<std::int64_t, std::int64_t>>;
+
+  void expect_valid(const MapT& m) {
+    const auto rep = lot::lo::validate(m, kBalanced);
+    EXPECT_TRUE(rep.ok) << rep.to_string();
+  }
+};
+
+using Impls = ::testing::Types<BstMap<std::int64_t, std::int64_t>,
+                               AvlMap<std::int64_t, std::int64_t>>;
+TYPED_TEST_SUITE(LoSequentialTest, Impls);
+
+TYPED_TEST(LoSequentialTest, EmptyTree) {
+  TypeParam m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_FALSE(m.get(1).has_value());
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_FALSE(m.min().has_value());
+  EXPECT_FALSE(m.max().has_value());
+  EXPECT_EQ(m.size_slow(), 0u);
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, InsertContainsGet) {
+  TypeParam m;
+  EXPECT_TRUE(m.insert(7, 70));
+  EXPECT_FALSE(m.insert(7, 71));  // duplicate rejected
+  EXPECT_TRUE(m.contains(7));
+  EXPECT_EQ(m.get(7).value(), 70);
+  EXPECT_FALSE(m.contains(6));
+  EXPECT_FALSE(m.contains(8));
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, PaperRunningExample) {
+  // Figure 1/2 of the paper: {1, 3, 7, 9}; removing 3 must keep 7
+  // reachable through the logical ordering.
+  TypeParam m;
+  for (std::int64_t k : {3, 1, 9, 7}) ASSERT_TRUE(m.insert(k, k));
+  ASSERT_TRUE(m.erase(3));
+  EXPECT_TRUE(m.contains(7));
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.contains(9));
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.size_slow(), 3u);
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, RemoveLeaf) {
+  TypeParam m;
+  for (std::int64_t k : {5, 3, 8}) m.insert(k, k);
+  EXPECT_TRUE(m.erase(3));
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.size_slow(), 2u);
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, RemoveSingleChildNode) {
+  TypeParam m;
+  for (std::int64_t k : {5, 3, 2}) m.insert(k, k);
+  EXPECT_TRUE(m.erase(3));  // 3 has only the left child 2
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_TRUE(m.contains(5));
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, RemoveTwoChildrenOnTime) {
+  // On-time deletion (§3.3): the removed internal node must be physically
+  // gone immediately — validate() fails if a marked node stays reachable.
+  TypeParam m;
+  for (std::int64_t k : {50, 25, 75, 10, 30, 60, 90, 27, 35}) m.insert(k, k);
+  ASSERT_TRUE(m.erase(25));  // two children; successor 27 relocates
+  EXPECT_FALSE(m.contains(25));
+  for (std::int64_t k : {50, 75, 10, 30, 60, 90, 27, 35}) {
+    EXPECT_TRUE(m.contains(k)) << k;
+  }
+  this->expect_valid(m);
+
+  ASSERT_TRUE(m.erase(50));  // root removal, two children
+  EXPECT_FALSE(m.contains(50));
+  EXPECT_EQ(m.size_slow(), 7u);
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, RemoveSuccessorIsDeepLeftSpine) {
+  // Successor of the removed node is not its direct child (s.parent != n).
+  TypeParam m;
+  for (std::int64_t k : {20, 10, 40, 30, 50, 25, 35}) m.insert(k, k);
+  ASSERT_TRUE(m.erase(20));  // successor 25 sits at the bottom of a spine
+  EXPECT_FALSE(m.contains(20));
+  EXPECT_TRUE(m.contains(25));
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, MinMax) {
+  TypeParam m;
+  for (std::int64_t k : {7, 3, 9, 1, 5}) m.insert(k, k * 10);
+  EXPECT_EQ(m.min().value(), (std::pair<std::int64_t, std::int64_t>{1, 10}));
+  EXPECT_EQ(m.max().value(), (std::pair<std::int64_t, std::int64_t>{9, 90}));
+  m.erase(1);
+  m.erase(9);
+  EXPECT_EQ(m.min().value().first, 3);
+  EXPECT_EQ(m.max().value().first, 7);
+}
+
+TYPED_TEST(LoSequentialTest, OrderedIteration) {
+  TypeParam m;
+  for (std::int64_t k : {6, 2, 8, 4, 0}) m.insert(k, k + 100);
+  std::vector<std::int64_t> keys;
+  m.for_each([&](std::int64_t k, std::int64_t v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, k + 100);
+  });
+  EXPECT_EQ(keys, (std::vector<std::int64_t>{0, 2, 4, 6, 8}));
+}
+
+TYPED_TEST(LoSequentialTest, NegativeAndBoundaryKeys) {
+  TypeParam m;
+  EXPECT_TRUE(m.insert(-1'000'000, 1));
+  EXPECT_TRUE(m.insert(0, 2));
+  EXPECT_TRUE(m.insert(1'000'000, 3));
+  EXPECT_TRUE(m.contains(-1'000'000));
+  EXPECT_TRUE(m.contains(0));
+  EXPECT_EQ(m.min().value().first, -1'000'000);
+  EXPECT_TRUE(m.erase(-1'000'000));
+  EXPECT_EQ(m.min().value().first, 0);
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, InsertEraseReinsert) {
+  TypeParam m;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(m.insert(42, round));
+    EXPECT_EQ(m.get(42).value(), round);
+    EXPECT_TRUE(m.erase(42));
+    EXPECT_FALSE(m.contains(42));
+  }
+  EXPECT_TRUE(m.empty());
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, AscendingDescendingFill) {
+  TypeParam m;
+  constexpr std::int64_t kN = 2'000;
+  for (std::int64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k, k));
+  EXPECT_EQ(m.size_slow(), static_cast<std::size_t>(kN));
+  this->expect_valid(m);
+  for (std::int64_t k = kN - 1; k >= 0; --k) ASSERT_TRUE(m.erase(k));
+  EXPECT_TRUE(m.empty());
+  this->expect_valid(m);
+
+  for (std::int64_t k = kN - 1; k >= 0; --k) ASSERT_TRUE(m.insert(k, k));
+  this->expect_valid(m);
+  for (std::int64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.erase(k));
+  EXPECT_TRUE(m.empty());
+  this->expect_valid(m);
+}
+
+TYPED_TEST(LoSequentialTest, DifferentialVsStdMap) {
+  TypeParam m;
+  std::map<std::int64_t, std::int64_t> oracle;
+  lot::util::Xoshiro256 rng(7);
+  for (int i = 0; i < 100'000; ++i) {
+    const std::int64_t k = rng.next_in(0, 499);
+    switch (rng.next_below(4)) {
+      case 0:
+        ASSERT_EQ(m.insert(k, i), oracle.emplace(k, i).second);
+        break;
+      case 1:
+        ASSERT_EQ(m.erase(k), oracle.erase(k) > 0);
+        break;
+      case 2:
+        ASSERT_EQ(m.contains(k), oracle.count(k) > 0);
+        break;
+      default: {
+        const auto mine = m.get(k);
+        const auto it = oracle.find(k);
+        ASSERT_EQ(mine.has_value(), it != oracle.end());
+        if (mine) {
+          ASSERT_EQ(*mine, it->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(m.size_slow(), oracle.size());
+  auto it = oracle.begin();
+  m.for_each([&](std::int64_t k, std::int64_t v) {
+    ASSERT_NE(it, oracle.end());
+    EXPECT_EQ(it->first, k);
+    EXPECT_EQ(it->second, v);
+    ++it;
+  });
+  EXPECT_EQ(it, oracle.end());
+  this->expect_valid(m);
+}
+
+// AVL-only: quiescent strict balance after adversarial (sorted) input.
+TEST(LoAvlOnly, SortedFillIsBalanced) {
+  AvlMap<std::int64_t, std::int64_t> m;
+  constexpr std::int64_t kN = 1 << 12;
+  for (std::int64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k, k));
+  const auto rep = lot::lo::validate(m, /*check_heights=*/true);
+  ASSERT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_LE(rep.height, 19);  // 1.4405 * log2(n)
+}
+
+TEST(LoAvlOnly, BalanceHoldsThroughChurn) {
+  AvlMap<std::int64_t, std::int64_t> m;
+  lot::util::Xoshiro256 rng(99);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::int64_t k = rng.next_in(0, 2'000);
+    if (rng.percent(55)) {
+      m.insert(k, i);
+    } else {
+      m.erase(k);
+    }
+  }
+  const auto rep = lot::lo::validate(m, true);
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+// BST-only: a degenerate fill must still be correct (just slow).
+TEST(LoBstOnly, DegenerateChainCorrect) {
+  BstMap<std::int64_t, std::int64_t> m;
+  for (std::int64_t k = 0; k < 300; ++k) ASSERT_TRUE(m.insert(k, k));
+  const auto rep = lot::lo::validate(m, false);
+  ASSERT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_EQ(rep.height, 300);  // no balancing: a right spine
+  for (std::int64_t k = 0; k < 300; ++k) EXPECT_TRUE(m.contains(k));
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the sequential AVL oracle, including a randomized differential
+// test against std::map — this structure must be trustworthy because the
+// concurrent trees are judged against it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "seq/avl.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using Map = lot::seq::AvlMap<std::int64_t, std::int64_t>;
+
+TEST(SeqAvl, EmptyBehaviour) {
+  Map m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_FALSE(m.get(1).has_value());
+  EXPECT_FALSE(m.min().has_value());
+  EXPECT_FALSE(m.max().has_value());
+  EXPECT_EQ(m.height(), 0);
+}
+
+TEST(SeqAvl, InsertGetEraseRoundTrip) {
+  Map m;
+  EXPECT_TRUE(m.insert(5, 50));
+  EXPECT_FALSE(m.insert(5, 51));  // insert-if-absent
+  EXPECT_EQ(m.get(5).value(), 50);
+  EXPECT_TRUE(m.erase(5));
+  EXPECT_FALSE(m.erase(5));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(SeqAvl, AscendingInsertStaysLogarithmic) {
+  Map m;
+  constexpr int kN = 1 << 12;
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(m.insert(i, i));
+  EXPECT_TRUE(m.is_balanced());
+  // AVL height bound: < 1.4405 log2(n+2)
+  EXPECT_LE(m.height(), 19);
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kN));
+}
+
+TEST(SeqAvl, MinMaxAndOrderedIteration) {
+  Map m;
+  for (int k : {7, 3, 9, 1, 5}) m.insert(k, k * 10);
+  EXPECT_EQ(m.min().value().first, 1);
+  EXPECT_EQ(m.max().value().first, 9);
+  std::vector<std::int64_t> keys;
+  m.for_each([&](std::int64_t k, std::int64_t) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(SeqAvl, TwoChildRemoval) {
+  Map m;
+  for (int k : {50, 25, 75, 10, 30, 60, 90}) m.insert(k, k);
+  ASSERT_TRUE(m.erase(50));  // root with two children
+  EXPECT_FALSE(m.contains(50));
+  EXPECT_TRUE(m.contains(60));  // the successor survived relocation
+  EXPECT_TRUE(m.is_balanced());
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(SeqAvl, DifferentialVsStdMap) {
+  Map m;
+  std::map<std::int64_t, std::int64_t> oracle;
+  lot::util::Xoshiro256 rng(2024);
+  for (int i = 0; i < 200'000; ++i) {
+    const std::int64_t k = rng.next_in(0, 999);
+    const auto op = rng.next_below(3);
+    if (op == 0) {
+      EXPECT_EQ(m.insert(k, i), oracle.emplace(k, i).second);
+    } else if (op == 1) {
+      EXPECT_EQ(m.erase(k), oracle.erase(k) > 0);
+    } else {
+      EXPECT_EQ(m.contains(k), oracle.count(k) > 0);
+      auto mine = m.get(k);
+      auto it = oracle.find(k);
+      EXPECT_EQ(mine.has_value(), it != oracle.end());
+      if (mine && it != oracle.end()) EXPECT_EQ(*mine, it->second);
+    }
+    if (i % 10'000 == 0) ASSERT_TRUE(m.is_balanced());
+  }
+  EXPECT_EQ(m.size(), oracle.size());
+  auto it = oracle.begin();
+  bool order_ok = true;
+  m.for_each([&](std::int64_t k, std::int64_t v) {
+    order_ok = order_ok && it != oracle.end() && it->first == k &&
+               it->second == v;
+    if (it != oracle.end()) ++it;
+  });
+  EXPECT_TRUE(order_ok);
+  EXPECT_TRUE(it == oracle.end());
+}
+
+}  // namespace

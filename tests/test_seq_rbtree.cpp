@@ -1,0 +1,91 @@
+// Tests for the sequential red-black tree used by the Pfaff (§2)
+// comparison ablation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "seq/rbtree.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using Map = lot::seq::RbTreeMap<std::int64_t, std::int64_t>;
+
+TEST(SeqRbTree, EmptyBehaviour) {
+  Map m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_FALSE(m.min().has_value());
+  EXPECT_TRUE(m.is_valid_rb());
+}
+
+TEST(SeqRbTree, InsertEraseRoundTrip) {
+  Map m;
+  EXPECT_TRUE(m.insert(5, 50));
+  EXPECT_FALSE(m.insert(5, 51));
+  EXPECT_EQ(m.get(5).value(), 50);
+  EXPECT_TRUE(m.erase(5));
+  EXPECT_FALSE(m.erase(5));
+  EXPECT_TRUE(m.is_valid_rb());
+}
+
+TEST(SeqRbTree, AscendingFillStaysLogarithmicAndValid) {
+  Map m;
+  constexpr std::int64_t kN = 1 << 12;
+  for (std::int64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k, k));
+  EXPECT_TRUE(m.is_valid_rb());
+  EXPECT_LE(m.height(), 2 * 13);  // RB bound: 2 log2(n+1)
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kN));
+}
+
+TEST(SeqRbTree, OrderedIterationAndMinMax) {
+  Map m;
+  for (std::int64_t k : {7, 3, 9, 1, 5}) m.insert(k, k * 10);
+  EXPECT_EQ(m.min().value().first, 1);
+  EXPECT_EQ(m.max().value().first, 9);
+  std::vector<std::int64_t> keys;
+  m.for_each([&](std::int64_t k, std::int64_t) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(SeqRbTree, DifferentialVsStdMapWithInvariantChecks) {
+  Map m;
+  std::map<std::int64_t, std::int64_t> oracle;
+  lot::util::Xoshiro256 rng(777);
+  for (int i = 0; i < 150'000; ++i) {
+    const std::int64_t k = rng.next_in(0, 799);
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(m.insert(k, i), oracle.emplace(k, i).second);
+        break;
+      case 1:
+        ASSERT_EQ(m.erase(k), oracle.erase(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(m.contains(k), oracle.count(k) > 0);
+    }
+    if (i % 5'000 == 0) ASSERT_TRUE(m.is_valid_rb()) << "at op " << i;
+  }
+  ASSERT_TRUE(m.is_valid_rb());
+  ASSERT_EQ(m.size(), oracle.size());
+  auto it = oracle.begin();
+  m.for_each([&](std::int64_t k, std::int64_t v) {
+    ASSERT_EQ(it->first, k);
+    ASSERT_EQ(it->second, v);
+    ++it;
+  });
+}
+
+TEST(SeqRbTree, TotalDepthMetric) {
+  Map m;
+  m.insert(2, 0);  // becomes root
+  m.insert(1, 0);
+  m.insert(3, 0);
+  // A 3-node balanced tree: depths 1 + 2 + 2.
+  EXPECT_EQ(m.total_depth(), 5u);
+}
+
+}  // namespace

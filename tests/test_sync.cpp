@@ -1,0 +1,115 @@
+// Unit tests for the locking substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/barrier.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using lot::sync::SpinLock;
+using lot::sync::ThreadBarrier;
+
+TEST(SpinLock, LockUnlockSingleThread) {
+  SpinLock lock;
+  EXPECT_FALSE(lock.is_locked());
+  lock.lock();
+  EXPECT_TRUE(lock.is_locked());
+  lock.unlock();
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(SpinLock, TryLockFailsWhenHeld) {
+  SpinLock lock;
+  ASSERT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLock, MutualExclusionCounter) {
+  SpinLock lock;
+  long counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        ++counter;  // data race iff the lock is broken
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(SpinLock, TryLockMutualExclusion) {
+  SpinLock lock;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50'000; ++i) {
+        if (lock.try_lock()) {
+          if (inside.fetch_add(1) != 0) violated = true;
+          inside.fetch_sub(1);
+          lock.unlock();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(ThreadBarrier, ReleasesAllParties) {
+  constexpr int kThreads = 6;
+  ThreadBarrier barrier(kThreads);
+  std::atomic<int> before{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      // Every thread must observe all arrivals once released.
+      if (before.load() != kThreads) mismatch = true;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(ThreadBarrier, Reusable) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 100;
+  ThreadBarrier barrier(kThreads);
+  std::atomic<int> round_sum{0};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        round_sum.fetch_add(1);
+        barrier.arrive_and_wait();
+        if (round_sum.load() != kThreads * (r + 1)) bad = true;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(round_sum.load(), kThreads * kRounds);
+}
+
+}  // namespace

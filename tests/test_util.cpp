@@ -1,0 +1,130 @@
+// Unit tests for PRNG, CLI parsing, stats, and the workload specs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "workload/spec.hpp"
+
+namespace {
+
+using lot::util::Cli;
+using lot::util::Xoshiro256;
+
+TEST(Random, Deterministic) {
+  Xoshiro256 a(12345);
+  Xoshiro256 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Random, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Random, NextInInclusiveBounds) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RoughlyUniform) {
+  Xoshiro256 rng(42);
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) buckets[rng.next_below(10)]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, kDraws / 10 * 0.9);
+    EXPECT_LT(b, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Random, PercentExtremes) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.percent(0));
+    EXPECT_TRUE(rng.percent(100));
+  }
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  const char* argv[] = {"prog",          "--threads=8", "--secs=2.5",
+                        "--name=table1", "--verbose",   "pos1"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("threads", 0), 8);
+  EXPECT_DOUBLE_EQ(cli.get_double("secs", 0), 2.5);
+  EXPECT_EQ(cli.get_string("name", ""), "table1");
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("absent"));
+  EXPECT_EQ(cli.get_int("absent", -7), -7);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, ParsesIntLists) {
+  const char* argv[] = {"prog", "--threads=1,2,4,8"};
+  Cli cli(2, const_cast<char**>(argv));
+  const auto v = cli.get_int_list("threads", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 8);
+  const auto fb = cli.get_int_list("missing", {5});
+  ASSERT_EQ(fb.size(), 1u);
+  EXPECT_EQ(fb[0], 5);
+}
+
+TEST(Stats, SummaryAndPercentile) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto s = lot::util::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(lot::util::percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile(xs, 0), 1.0);
+}
+
+TEST(Workload, PaperSpecs) {
+  using namespace lot::workload;
+  const auto s1 = make_spec(Mix::k100C, 20'000);
+  EXPECT_EQ(s1.contains_pct, 100u);
+  EXPECT_EQ(s1.prefill_target(), 10'000);
+
+  const auto s2 = make_spec(Mix::k70C20I10R, 30'000);
+  EXPECT_EQ(s2.insert_pct, 20u);
+  EXPECT_EQ(s2.remove_pct, 10u);
+  // 2:1 insert:remove steady state = 2/3 of the range (paper §6).
+  EXPECT_EQ(s2.prefill_target(), 20'000);
+
+  const auto s3 = make_spec(Mix::k50C25I25R, 20'000);
+  EXPECT_EQ(s3.prefill_target(), 10'000);
+
+  EXPECT_EQ(paper_key_ranges().size(), 3u);
+  EXPECT_EQ(paper_mixes().size(), 3u);
+}
+
+}  // namespace
