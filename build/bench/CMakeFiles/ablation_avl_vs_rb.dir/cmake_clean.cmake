@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_avl_vs_rb.dir/ablation_avl_vs_rb.cpp.o"
+  "CMakeFiles/ablation_avl_vs_rb.dir/ablation_avl_vs_rb.cpp.o.d"
+  "ablation_avl_vs_rb"
+  "ablation_avl_vs_rb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_avl_vs_rb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

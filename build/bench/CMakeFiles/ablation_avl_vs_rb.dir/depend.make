@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_avl_vs_rb.
+# This may be replaced when dependencies are built.

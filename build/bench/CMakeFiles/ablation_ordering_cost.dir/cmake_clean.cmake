@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ordering_cost.dir/ablation_ordering_cost.cpp.o"
+  "CMakeFiles/ablation_ordering_cost.dir/ablation_ordering_cost.cpp.o.d"
+  "ablation_ordering_cost"
+  "ablation_ordering_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ordering_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_read_latency.dir/ablation_read_latency.cpp.o"
+  "CMakeFiles/ablation_read_latency.dir/ablation_read_latency.cpp.o.d"
+  "ablation_read_latency"
+  "ablation_read_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zombies.dir/ablation_zombies.cpp.o"
+  "CMakeFiles/ablation_zombies.dir/ablation_zombies.cpp.o.d"
+  "ablation_zombies"
+  "ablation_zombies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zombies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

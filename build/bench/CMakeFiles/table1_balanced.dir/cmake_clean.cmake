@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_balanced.dir/table1_balanced.cpp.o"
+  "CMakeFiles/table1_balanced.dir/table1_balanced.cpp.o.d"
+  "table1_balanced"
+  "table1_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_unbalanced.dir/table2_unbalanced.cpp.o"
+  "CMakeFiles/table2_unbalanced.dir/table2_unbalanced.cpp.o.d"
+  "table2_unbalanced"
+  "table2_unbalanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_unbalanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

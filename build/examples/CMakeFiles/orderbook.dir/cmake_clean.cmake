@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderbook.dir/orderbook.cpp.o"
+  "CMakeFiles/orderbook.dir/orderbook.cpp.o.d"
+  "orderbook"
+  "orderbook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_tool.dir/stress_tool.cpp.o"
+  "CMakeFiles/stress_tool.dir/stress_tool.cpp.o.d"
+  "stress_tool"
+  "stress_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

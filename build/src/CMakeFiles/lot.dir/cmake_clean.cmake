@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lot.dir/reclaim/ebr.cpp.o"
+  "CMakeFiles/lot.dir/reclaim/ebr.cpp.o.d"
+  "CMakeFiles/lot.dir/util/cli.cpp.o"
+  "CMakeFiles/lot.dir/util/cli.cpp.o.d"
+  "CMakeFiles/lot.dir/util/stats.cpp.o"
+  "CMakeFiles/lot.dir/util/stats.cpp.o.d"
+  "CMakeFiles/lot.dir/workload/spec.cpp.o"
+  "CMakeFiles/lot.dir/workload/spec.cpp.o.d"
+  "liblot.a"
+  "liblot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_properties.dir/test_baseline_properties.cpp.o"
+  "CMakeFiles/test_baseline_properties.dir/test_baseline_properties.cpp.o.d"
+  "test_baseline_properties"
+  "test_baseline_properties.pdb"
+  "test_baseline_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

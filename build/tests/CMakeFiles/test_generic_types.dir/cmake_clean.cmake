@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generic_types.dir/test_generic_types.cpp.o"
+  "CMakeFiles/test_generic_types.dir/test_generic_types.cpp.o.d"
+  "test_generic_types"
+  "test_generic_types.pdb"
+  "test_generic_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generic_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llxscx.dir/test_llxscx.cpp.o"
+  "CMakeFiles/test_llxscx.dir/test_llxscx.cpp.o.d"
+  "test_llxscx"
+  "test_llxscx.pdb"
+  "test_llxscx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llxscx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lo_concurrent.dir/test_lo_concurrent.cpp.o"
+  "CMakeFiles/test_lo_concurrent.dir/test_lo_concurrent.cpp.o.d"
+  "test_lo_concurrent"
+  "test_lo_concurrent.pdb"
+  "test_lo_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lo_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lo_ordered_api.dir/test_lo_ordered_api.cpp.o"
+  "CMakeFiles/test_lo_ordered_api.dir/test_lo_ordered_api.cpp.o.d"
+  "test_lo_ordered_api"
+  "test_lo_ordered_api.pdb"
+  "test_lo_ordered_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lo_ordered_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

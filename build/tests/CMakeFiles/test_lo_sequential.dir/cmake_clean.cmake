@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lo_sequential.dir/test_lo_sequential.cpp.o"
+  "CMakeFiles/test_lo_sequential.dir/test_lo_sequential.cpp.o.d"
+  "test_lo_sequential"
+  "test_lo_sequential.pdb"
+  "test_lo_sequential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lo_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_avl.dir/test_seq_avl.cpp.o"
+  "CMakeFiles/test_seq_avl.dir/test_seq_avl.cpp.o.d"
+  "test_seq_avl"
+  "test_seq_avl.pdb"
+  "test_seq_avl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_avl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_rbtree.dir/test_seq_rbtree.cpp.o"
+  "CMakeFiles/test_seq_rbtree.dir/test_seq_rbtree.cpp.o.d"
+  "test_seq_rbtree"
+  "test_seq_rbtree.pdb"
+  "test_seq_rbtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_rbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

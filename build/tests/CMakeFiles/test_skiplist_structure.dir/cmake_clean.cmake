@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiplist_structure.dir/test_skiplist_structure.cpp.o"
+  "CMakeFiles/test_skiplist_structure.dir/test_skiplist_structure.cpp.o.d"
+  "test_skiplist_structure"
+  "test_skiplist_structure.pdb"
+  "test_skiplist_structure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiplist_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

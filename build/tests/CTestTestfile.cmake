@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_ebr[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_seq_avl[1]_include.cmake")
+include("/root/repo/build/tests/test_lo_sequential[1]_include.cmake")
+include("/root/repo/build/tests/test_lo_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_lo_partial[1]_include.cmake")
+include("/root/repo/build/tests/test_lo_ordered_api[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_llxscx[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_seq_rbtree[1]_include.cmake")
+include("/root/repo/build/tests/test_generic_types[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_skiplist_structure[1]_include.cmake")
