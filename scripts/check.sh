@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full correctness gate, in escalating order of cost:
+#
+#   1. tier-1: default build + the full CTest suite minus the long
+#      stress binaries (unit, sequential, concurrent, checker unit tests,
+#      and the in-tree *_tsan duplicates);
+#   2. the schedule-perturbed linearizability stress: perturbed histories
+#      from the real trees through the offline checker, plus the
+#      LOT_INJECT_BUG negative control that must be *rejected*;
+#   3. the whole-build ThreadSanitizer preset (build-tsan/, iteration
+#      counts scaled down by LOT_STRESS_DIVISOR=20).
+#
+# A non-linearizable history makes the stress tests dump the complete
+# trace + violation witness to $LOT_HISTORY_DUMP; this script pins that
+# to an absolute path and surfaces it on failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export LOT_HISTORY_DUMP="${LOT_HISTORY_DUMP:-$PWD/history.txt}"
+rm -f "$LOT_HISTORY_DUMP"
+
+STRESS_RE='LoLinearizabilityStress|SeededBug|DriverCapture'
+
+fail() {
+  echo "check.sh: FAILED at stage: $1" >&2
+  if [ -f "$LOT_HISTORY_DUMP" ]; then
+    echo "check.sh: history artifact: $LOT_HISTORY_DUMP" >&2
+    echo "check.sh: --- artifact head ---" >&2
+    head -n 12 "$LOT_HISTORY_DUMP" >&2 || true
+  fi
+  exit 1
+}
+
+echo "== stage 1/3: tier-1 build + test =="
+cmake -B build -S . >/dev/null || fail "configure"
+cmake --build build -j "$(nproc)" >/dev/null || fail "build"
+(cd build && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
+  || fail "tier-1 ctest"
+
+echo "== stage 2/3: schedule-perturbed linearizability stress =="
+(cd build && ctest --output-on-failure -R "$STRESS_RE") \
+  || fail "stress + checker"
+
+echo "== stage 3/3: ThreadSanitizer preset =="
+cmake --preset tsan >/dev/null || fail "tsan configure"
+cmake --build --preset tsan -j "$(nproc)" >/dev/null || fail "tsan build"
+ctest --preset tsan || fail "tsan ctest"
+
+echo "check.sh: all stages passed"

@@ -1,0 +1,132 @@
+// Operation-history recording for offline linearizability checking.
+//
+// The structural validation in lo/validate.hpp only inspects quiescent
+// states; it cannot catch an operation that *returned the wrong answer*
+// during a race and left the tree intact. This recorder captures what the
+// checker in check/linearize.hpp needs: for every completed insert /
+// remove / contains, its invocation and response timestamps and result.
+//
+// Design constraints (the recorder runs inside timed stress loops):
+//  * per-thread logs: each worker appends to its own pre-allocated buffer,
+//    so recording is lock-free and allocation-free on the hot path;
+//  * a single global logical clock (atomic fetch_add) stamps invocations
+//    and responses. An atomic RMW sequence is itself linearizable, so the
+//    stamp order is consistent with real time: if operation A responded
+//    before operation B was invoked, then A.response < B.invoke. That is
+//    exactly the real-time precedence relation linearizability preserves;
+//  * logs are merged and sorted only after the workers have joined.
+//
+// A full buffer flags overflow instead of wrapping: a history with dropped
+// events cannot be checked soundly, so the harness asserts !overflowed().
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sync/cacheline.hpp"
+
+namespace lot::check {
+
+enum class Op : std::uint8_t { kInsert = 0, kRemove = 1, kContains = 2 };
+
+inline const char* op_name(Op op) {
+  switch (op) {
+    case Op::kInsert:
+      return "insert";
+    case Op::kRemove:
+      return "remove";
+    default:
+      return "contains";
+  }
+}
+
+template <typename K>
+struct Event {
+  std::uint64_t invoke = 0;    // logical clock at invocation
+  std::uint64_t response = 0;  // logical clock at response; > invoke
+  K key{};
+  Op op = Op::kContains;
+  bool result = false;
+  std::uint16_t thread = 0;
+};
+
+template <typename K>
+class HistoryRecorder {
+ public:
+  /// One writer thread's log. Owner-thread access only while recording.
+  struct alignas(sync::kCacheLineSize) ThreadLog {
+    std::vector<Event<K>> events;  // size() < capacity(); never reallocates
+    bool overflow = false;
+
+    void push(const Event<K>& e) {
+      if (events.size() == events.capacity()) {
+        overflow = true;
+        return;
+      }
+      events.push_back(e);
+    }
+  };
+
+  HistoryRecorder(unsigned threads, std::size_t capacity_per_thread)
+      : logs_(threads) {
+    for (auto& log : logs_) log.events.reserve(capacity_per_thread);
+  }
+
+  unsigned threads() const { return static_cast<unsigned>(logs_.size()); }
+
+  /// Draws the next logical timestamp. Called immediately before an
+  /// operation starts and immediately after it returns.
+  std::uint64_t tick() { return clock_.fetch_add(1, std::memory_order_acq_rel); }
+
+  ThreadLog& log(unsigned tid) { return logs_[tid]; }
+
+  /// Runs `op_fn` (a zero-argument callable returning bool) as thread
+  /// `tid`'s next operation and records it. Returns the operation's result
+  /// so call sites can keep their own bookkeeping.
+  template <typename F>
+  bool record(unsigned tid, Op op, const K& key, F&& op_fn) {
+    const std::uint64_t t0 = tick();
+    const bool result = op_fn();
+    const std::uint64_t t1 = tick();
+    logs_[tid].push(Event<K>{t0, t1, key, op, result,
+                             static_cast<std::uint16_t>(tid)});
+    return result;
+  }
+
+  bool overflowed() const {
+    for (const auto& log : logs_) {
+      if (log.overflow) return true;
+    }
+    return false;
+  }
+
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const auto& log : logs_) n += log.events.size();
+    return n;
+  }
+
+  /// Merges all thread logs into one history sorted by invocation stamp.
+  /// Call only after every recording thread has joined.
+  std::vector<Event<K>> merged() const {
+    std::vector<Event<K>> all;
+    all.reserve(total_events());
+    for (const auto& log : logs_) {
+      all.insert(all.end(), log.events.begin(), log.events.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Event<K>& a, const Event<K>& b) {
+                return a.invoke < b.invoke;
+              });
+    return all;
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{1};
+  std::vector<ThreadLog> logs_;
+};
+
+}  // namespace lot::check

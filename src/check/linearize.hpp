@@ -1,0 +1,301 @@
+// Offline linearizability checker for set histories (insert / remove /
+// contains) recorded by check/history.hpp.
+//
+// Soundness rests on two standard reductions:
+//
+//  1. Per-key composition. Every set operation touches exactly one key and
+//     keys do not interact, so the set is a product object of independent
+//     per-key membership registers. By the locality theorem (Herlihy &
+//     Wing), a history is linearizable iff each per-key projection is.
+//
+//  2. Interval blocks. Within one key, sort events by invocation stamp and
+//     cut the history wherever every earlier operation has responded
+//     before the next one is invoked (running max of response stamps).
+//     Operations in different blocks are totally real-time ordered, so a
+//     linearization is a concatenation of per-block linearizations, and
+//     only the membership state (one bit per key) crosses a cut. Blocks
+//     of size one — the entire history, for keys never touched by two
+//     overlapping operations — are simulated directly; sorting dominates
+//     and disjoint-key histories check in O(n log n).
+//
+// Only blocks with genuine overlap need a search. There we run the
+// Wing–Gong–Lowe procedure: depth-first over partial linearizations,
+// where an event may be appended next iff no un-linearized event responded
+// before it was invoked, memoising visited (linearized-set, state)
+// configurations. The per-key state is a single bit, so the search is fast
+// on the histories real runs produce; a configuration budget turns a
+// pathological blow-up into an explicit kAborted verdict rather than a
+// silent hang.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "check/history.hpp"
+
+namespace lot::check {
+
+enum class Verdict {
+  kLinearizable,
+  kNonLinearizable,
+  kAborted,  // configuration budget exhausted before a verdict
+};
+
+struct CheckStats {
+  std::size_t events = 0;
+  std::size_t keys = 0;
+  std::size_t sequential_events = 0;  // settled by direct simulation
+  std::size_t overlap_blocks = 0;     // blocks that needed the WGL search
+  std::size_t max_block = 0;          // largest overlapping block
+  std::size_t configs_explored = 0;   // WGL configurations expanded
+};
+
+template <typename K>
+struct CheckResult {
+  Verdict verdict = Verdict::kLinearizable;
+  K key{};                  // offending key when not linearizable
+  std::string reason;
+  std::vector<Event<K>> witness;  // the block that admits no linearization
+  CheckStats stats;
+
+  bool ok() const { return verdict == Verdict::kLinearizable; }
+};
+
+namespace detail_check {
+
+template <typename K>
+std::string key_to_string(const K& k) {
+  if constexpr (requires(std::ostringstream& os, const K& key) { os << key; }) {
+    std::ostringstream os;
+    os << k;
+    return os.str();
+  } else {
+    return "<key>";
+  }
+}
+
+template <typename K>
+std::string event_to_string(const Event<K>& e) {
+  std::ostringstream os;
+  os << "[" << e.invoke << "," << e.response << ") t" << e.thread << " "
+     << op_name(e.op) << "(" << key_to_string(e.key) << ") = "
+     << (e.result ? "true" : "false");
+  return os.str();
+}
+
+/// Set semantics of one operation on one key's membership bit. Returns
+/// false if the recorded result is impossible from `state`; otherwise
+/// updates `state` to the post-state.
+inline bool apply_op(Op op, bool result, bool& state) {
+  switch (op) {
+    case Op::kInsert:
+      if (result == state) return false;  // true iff key was absent
+      state = true;
+      return true;
+    case Op::kRemove:
+      if (result != state) return false;  // true iff key was present
+      state = false;
+      return true;
+    default:  // contains: pure observation
+      return result == state;
+  }
+}
+
+/// Feasible membership states, as a 2-bit set: bit 0 = "absent possible",
+/// bit 1 = "present possible".
+using StateSet = unsigned;
+inline constexpr StateSet state_bit(bool present) { return present ? 2u : 1u; }
+
+struct ConfigHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& v) const {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the words
+    for (std::uint64_t w : v) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Wing–Gong search over one overlapping block, from entry state `init`.
+/// Returns the set of membership states reachable by complete
+/// linearizations (empty = block not linearizable from `init`).
+/// `configs` accumulates explored configurations against `budget`.
+template <typename K>
+StateSet wgl_block(const std::vector<const Event<K>*>& block, bool init,
+                   std::size_t& configs, std::size_t budget, bool& aborted) {
+  const std::size_t n = block.size();
+  const std::size_t words = (n + 63) / 64 + 1;  // +1: state bit lives in [0]
+
+  // A configuration is (linearized subset, membership state), packed into
+  // one word vector: word 0 holds the state bit, the rest the subset.
+  std::vector<std::vector<std::uint64_t>> stack;
+  std::unordered_set<std::vector<std::uint64_t>, ConfigHash> visited;
+
+  std::vector<std::uint64_t> start(words, 0);
+  start[0] = init ? 1 : 0;
+  visited.insert(start);
+  stack.push_back(std::move(start));
+
+  std::vector<std::size_t> candidates;
+  StateSet finals = 0;
+  while (!stack.empty()) {
+    if (++configs > budget) {
+      aborted = true;
+      return finals;
+    }
+    const std::vector<std::uint64_t> cfg = std::move(stack.back());
+    stack.pop_back();
+    const bool state = (cfg[0] & 1) != 0;
+
+    // Frontier: first un-linearized event (events are invoke-sorted).
+    std::size_t frontier = n;
+    for (std::size_t w = 1; w < words; ++w) {
+      if (cfg[w] != ~0ULL) {
+        const std::size_t bit =
+            static_cast<std::size_t>(__builtin_ctzll(~cfg[w]));
+        frontier = (w - 1) * 64 + bit;
+        break;
+      }
+    }
+    if (frontier >= n) {
+      finals |= state_bit(state);
+      if (finals == 3u) return finals;  // both states reachable; done
+      continue;
+    }
+
+    // Candidates: un-linearized events invoked before every un-linearized
+    // response. Scanning in invoke order, once an event's invoke passes
+    // the running response minimum nothing further qualifies or can lower
+    // the minimum (response > invoke), so the scan stops at the overlap
+    // window's edge instead of the end of the block.
+    candidates.clear();
+    std::uint64_t min_resp = ~0ULL;
+    for (std::size_t i = frontier; i < n; ++i) {
+      if ((cfg[1 + i / 64] >> (i % 64)) & 1) continue;
+      if (block[i]->invoke >= min_resp) break;
+      candidates.push_back(i);
+      if (block[i]->response < min_resp) min_resp = block[i]->response;
+    }
+    for (std::size_t i : candidates) {
+      if (block[i]->invoke >= min_resp) continue;  // filtered by final min
+      bool next_state = state;
+      if (!apply_op(block[i]->op, block[i]->result, next_state)) continue;
+      std::vector<std::uint64_t> succ = cfg;
+      succ[1 + i / 64] |= 1ULL << (i % 64);
+      succ[0] = next_state ? 1 : 0;
+      if (visited.insert(succ).second) stack.push_back(std::move(succ));
+    }
+  }
+  return finals;
+}
+
+}  // namespace detail_check
+
+/// Renders a history (or a violation witness) for the history.txt artifact.
+template <typename K>
+std::string format_history(const std::vector<Event<K>>& events) {
+  std::string out;
+  for (const auto& e : events) {
+    out += detail_check::event_to_string(e);
+    out += '\n';
+  }
+  return out;
+}
+
+/// Checks a complete set history for linearizability. `events` need not be
+/// sorted. `initially_present` lists the keys in the set before the first
+/// event (e.g. an unrecorded prefill); all other keys start absent.
+/// `config_budget` bounds the WGL search (kAborted when exceeded).
+template <typename K>
+CheckResult<K> check_set_history(std::vector<Event<K>> events,
+                                 std::vector<K> initially_present = {},
+                                 std::size_t config_budget = 50'000'000) {
+  CheckResult<K> res;
+  res.stats.events = events.size();
+  std::sort(events.begin(), events.end(),
+            [](const Event<K>& a, const Event<K>& b) {
+              return a.invoke < b.invoke;
+            });
+  std::sort(initially_present.begin(), initially_present.end());
+
+  // Per-key projections, preserving invocation order within each key.
+  std::map<K, std::vector<const Event<K>*>> per_key;
+  for (const auto& e : events) per_key[e.key].push_back(&e);
+  res.stats.keys = per_key.size();
+
+  for (auto& [key, evs] : per_key) {
+    using detail_check::StateSet;
+    using detail_check::state_bit;
+    const bool init = std::binary_search(initially_present.begin(),
+                                         initially_present.end(), key);
+    StateSet states = state_bit(init);
+
+    std::size_t i = 0;
+    while (i < evs.size()) {
+      // Grow the block while intervals chain-overlap.
+      std::uint64_t max_resp = evs[i]->response;
+      std::size_t j = i + 1;
+      while (j < evs.size() && evs[j]->invoke < max_resp) {
+        if (evs[j]->response > max_resp) max_resp = evs[j]->response;
+        ++j;
+      }
+
+      StateSet next = 0;
+      if (j - i == 1) {  // totally ordered w.r.t. everything else: simulate
+        ++res.stats.sequential_events;
+        for (bool s : {false, true}) {
+          if ((states & state_bit(s)) == 0) continue;
+          bool out_state = s;
+          if (detail_check::apply_op(evs[i]->op, evs[i]->result, out_state)) {
+            next |= state_bit(out_state);
+          }
+        }
+      } else {
+        ++res.stats.overlap_blocks;
+        if (j - i > res.stats.max_block) res.stats.max_block = j - i;
+        std::vector<const Event<K>*> block(evs.begin() + i, evs.begin() + j);
+        bool aborted = false;
+        for (bool s : {false, true}) {
+          if ((states & state_bit(s)) == 0) continue;
+          next |= detail_check::wgl_block<K>(block, s,
+                                             res.stats.configs_explored,
+                                             config_budget, aborted);
+        }
+        if (aborted) {
+          res.verdict = Verdict::kAborted;
+          res.key = key;
+          res.reason = "WGL search budget exhausted on key " +
+                       detail_check::key_to_string(key) + " (block of " +
+                       std::to_string(j - i) + " overlapping operations)";
+          return res;
+        }
+      }
+
+      if (next == 0) {
+        res.verdict = Verdict::kNonLinearizable;
+        res.key = key;
+        std::ostringstream os;
+        os << "no linearization for key " << detail_check::key_to_string(key)
+           << ": block of " << (j - i) << " operation(s) starting at stamp "
+           << evs[i]->invoke << " admits no order from entry state"
+           << ((states & 2u) ? " {present}" : "")
+           << ((states & 1u) ? " {absent}" : "");
+        res.reason = os.str();
+        for (std::size_t b = i; b < j; ++b) res.witness.push_back(*evs[b]);
+        return res;
+      }
+      states = next;
+      i = j;
+    }
+  }
+  return res;
+}
+
+}  // namespace lot::check

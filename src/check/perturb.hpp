@@ -1,0 +1,140 @@
+// Named schedule-perturbation points inside the logical-ordering trees.
+//
+// The algorithm's hardest races live in a handful of windows: the gap
+// between linking a node into the ordering layout and into the physical
+// tree, the gap between marking a node and unlinking it, the instants a
+// relocated successor or a rotating subtree is mid-flight. On the test
+// machines (often a single core) those windows are a few instructions wide
+// and almost never observed. The stress harness compiles the trees with
+// LOT_SCHEDULE_PERTURB, which turns each named point into a randomized
+// pause (yield / short sleep / bounded spin), widening exactly those
+// windows by orders of magnitude.
+//
+// Without LOT_SCHEDULE_PERTURB every hook is an empty inline function the
+// optimizer deletes — the production hot path carries no instrumentation,
+// which is why the stress tests are separate build targets rather than a
+// runtime switch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(LOT_SCHEDULE_PERTURB)
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "sync/backoff.hpp"
+#endif
+
+namespace lot::check {
+
+enum class PerturbPoint : std::uint8_t {
+  kLocateAfterDescent = 0,   // reader finished the descent; ordering walk pending
+  kInsertHalfLinked,         // p->succ points at the new node; pred repair pending
+  kInsertBeforeTreeLink,     // node in the ordering layout, not yet in the tree
+  kEraseAfterMark,           // marked (linearized), ordering unlink pending
+  kEraseHalfUnlinked,        // successor's pred rewired; p->succ pending
+  kEraseBeforeTreeUnlink,    // off the ordering chain, still in the tree layout
+  kRelocateDetached,         // two-child removal: successor absent from the tree
+  kRotate,                   // a rotation is about to swing child pointers
+  kCount
+};
+
+inline constexpr std::size_t kPerturbPointCount =
+    static_cast<std::size_t>(PerturbPoint::kCount);
+
+inline const char* perturb_point_name(PerturbPoint p) {
+  switch (p) {
+    case PerturbPoint::kLocateAfterDescent: return "locate-after-descent";
+    case PerturbPoint::kInsertHalfLinked: return "insert-half-linked";
+    case PerturbPoint::kInsertBeforeTreeLink: return "insert-before-tree-link";
+    case PerturbPoint::kEraseAfterMark: return "erase-after-mark";
+    case PerturbPoint::kEraseHalfUnlinked: return "erase-half-unlinked";
+    case PerturbPoint::kEraseBeforeTreeUnlink: return "erase-before-tree-unlink";
+    case PerturbPoint::kRelocateDetached: return "relocate-detached";
+    case PerturbPoint::kRotate: return "rotate";
+    default: return "?";
+  }
+}
+
+#if defined(LOT_SCHEDULE_PERTURB)
+
+inline constexpr bool kSchedulePerturb = true;
+
+struct PerturbState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint32_t> fire_permille{20};  // P(pause) per point visit
+  std::atomic<std::uint32_t> max_sleep_us{50};
+  std::atomic<std::uint64_t> hits[kPerturbPointCount] = {};
+};
+
+inline PerturbState& perturb_state() {
+  static PerturbState state;
+  return state;
+}
+
+inline void set_perturbation(std::uint32_t fire_permille,
+                             std::uint32_t max_sleep_us) {
+  auto& st = perturb_state();
+  st.fire_permille.store(fire_permille, std::memory_order_relaxed);
+  st.max_sleep_us.store(max_sleep_us, std::memory_order_relaxed);
+}
+
+inline void enable_perturbation(bool on) {
+  perturb_state().enabled.store(on, std::memory_order_relaxed);
+}
+
+inline std::uint64_t perturb_hits(PerturbPoint p) {
+  return perturb_state().hits[static_cast<std::size_t>(p)].load(
+      std::memory_order_relaxed);
+}
+
+inline void reset_perturb_hits() {
+  for (auto& h : perturb_state().hits) h.store(0, std::memory_order_relaxed);
+}
+
+/// The hook proper. Some call sites hold per-node spin locks; that is
+/// deliberate (a preempted lock holder is a schedule real deployments
+/// produce) and safe because SpinLock's backoff escalates to yields.
+inline void perturb_point(PerturbPoint p) {
+  auto& st = perturb_state();
+  if (!st.enabled.load(std::memory_order_relaxed)) return;
+  // xorshift64*, seeded per thread from its TLS slot address.
+  thread_local std::uint64_t rng =
+      reinterpret_cast<std::uint64_t>(&rng) | 1;
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  const std::uint64_t draw = rng * 0x2545F4914F6CDD1DULL;
+  if (draw % 1000 >= st.fire_permille.load(std::memory_order_relaxed)) return;
+  st.hits[static_cast<std::size_t>(p)].fetch_add(1, std::memory_order_relaxed);
+  switch ((draw >> 32) % 3) {
+    case 0:
+      std::this_thread::yield();
+      break;
+    case 1: {
+      const std::uint32_t cap = st.max_sleep_us.load(std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(1 + (draw >> 40) % (cap ? cap : 1)));
+      break;
+    }
+    default:
+      for (int spin = 0; spin < 512; ++spin) sync::cpu_relax();
+      break;
+  }
+}
+
+#else  // !LOT_SCHEDULE_PERTURB — every hook compiles away.
+
+inline constexpr bool kSchedulePerturb = false;
+
+inline void set_perturbation(std::uint32_t, std::uint32_t) {}
+inline void enable_perturbation(bool) {}
+inline std::uint64_t perturb_hits(PerturbPoint) { return 0; }
+inline void reset_perturb_hits() {}
+inline void perturb_point(PerturbPoint) {}
+
+#endif  // LOT_SCHEDULE_PERTURB
+
+}  // namespace lot::check

@@ -8,7 +8,9 @@ namespace lot::lo {
 
 /// Concurrent internal AVL map with lock-free contains/get, on-time
 /// deletion, and relaxed balancing decoupled from lookups. See LoMap for
-/// the full API.
+/// the full API. Translation units that define LOT_SCHEDULE_PERTURB get
+/// the schedule-perturbation hooks inside the update and rotation race
+/// windows (tests/stress/).
 template <typename K, typename V, typename Compare = std::less<K>>
 using AvlMap = LoMap<K, V, Compare, /*Balanced=*/true>;
 

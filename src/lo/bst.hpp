@@ -7,7 +7,9 @@ namespace lot::lo {
 
 /// Concurrent internal BST with lock-free contains/get and on-time
 /// deletion; no balancing (expected O(log n) paths only under uniform
-/// keys). See LoMap for the full API.
+/// keys). See LoMap for the full API. Translation units that define
+/// LOT_SCHEDULE_PERTURB get the schedule-perturbation hooks inside the
+/// insert/remove/relocate race windows (tests/stress/).
 template <typename K, typename V, typename Compare = std::less<K>>
 using BstMap = LoMap<K, V, Compare, /*Balanced=*/false>;
 

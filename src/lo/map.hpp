@@ -24,6 +24,22 @@
 //  * choose_parent may fall back to the predecessor, but the -inf sentinel
 //    is never a physical parent (it is outside the tree layout, §4.1), so
 //    the fallback skips to the successor in that case.
+//  * Algorithm 2's ordering walk needs a third loop — back off marked
+//    nodes via pred before walking succ — or a lookup that lands on a
+//    removed-but-not-yet-tree-unlinked node with the sought key misses a
+//    concurrently re-inserted key (stale-duplicate shadowing; see locate()
+//    and DESIGN.md). The verified plankton model of this structure carries
+//    the same loop.
+//
+// Instrumentation: the race windows this algorithm tolerates (node in the
+// ordering layout but not the tree, marked but not yet unlinked, successor
+// mid-relocation) carry named check::perturb_point() hooks. They compile to
+// nothing unless the translation unit defines LOT_SCHEDULE_PERTURB; the
+// stress harness under tests/stress/ builds with it to widen those windows.
+// LOT_INJECT_BUG (negative control for the linearizability checker) breaks
+// locate() into a tree-only lookup — exactly the naive design the logical
+// ordering exists to fix — so perturbed runs yield non-linearizable
+// histories the checker must reject.
 #pragma once
 
 #include <cstddef>
@@ -32,10 +48,12 @@
 #include <string_view>
 #include <utility>
 
+#include "check/perturb.hpp"
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
 #include "lo/rebalance.hpp"
 #include "reclaim/ebr.hpp"
+#include "sync/backoff.hpp"
 
 namespace lot::lo {
 
@@ -260,10 +278,21 @@ class LoMap {
         nn->succ.store(s, std::memory_order_relaxed);
         nn->pred.store(p, std::memory_order_relaxed);
         nn->parent.store(parent, std::memory_order_relaxed);
-        s->pred.store(nn, std::memory_order_release);
-        // Linearization point of a successful insert (§5.2).
+        // Linearization point of a successful insert (§5.2). The succ link
+        // must be published *first*: succ pointers are the authoritative
+        // chain, and pred pointers are only repair hints that the ordering
+        // walk always re-validates by walking succ afterwards. Storing
+        // s->pred before p->succ lets a pred-walking reader observe nn
+        // before this linearization point while a succ-walking reader still
+        // misses it — a real-time inversion the perturbed stress harness
+        // caught as a non-linearizable history (contains(k)=true then
+        // contains(k)=false with only this insert in flight). The verified
+        // plankton model orders the stores the same way as below.
         p->succ.store(nn, std::memory_order_release);
+        check::perturb_point(check::PerturbPoint::kInsertHalfLinked);
+        s->pred.store(nn, std::memory_order_release);
         p->succ_lock.unlock();
+        check::perturb_point(check::PerturbPoint::kInsertBeforeTreeLink);
         insert_to_tree(parent, nn);
         return true;
       }
@@ -292,11 +321,14 @@ class LoMap {
         const bool two_children = acquire_tree_locks(s);
         // Linearization point of a successful remove (§5.2).
         s->mark.store(true, std::memory_order_release);
+        check::perturb_point(check::PerturbPoint::kEraseAfterMark);
         NodeT* s_succ = s->succ.load(std::memory_order_relaxed);
         s_succ->pred.store(p, std::memory_order_release);
+        check::perturb_point(check::PerturbPoint::kEraseHalfUnlinked);
         p->succ.store(s_succ, std::memory_order_release);
         s->succ_lock.unlock();
         p->succ_lock.unlock();
+        check::perturb_point(check::PerturbPoint::kEraseBeforeTreeUnlink);
         remove_from_tree(s, two_children);
         domain_->retire(s);
         return true;
@@ -313,6 +345,7 @@ class LoMap {
   NodeT* debug_neg_sentinel() const { return neg_; }
   NodeT* debug_pos_sentinel() const { return pos_; }
   reclaim::EbrDomain& domain() const { return *domain_; }
+  Compare key_comp() const { return comp_; }
 
  private:
   // Three-way comparison of a node against a key, sentinel-aware:
@@ -344,13 +377,35 @@ class LoMap {
   /// nodes keep their outgoing pointers; EBR keeps them alive).
   const NodeT* locate(const K& k) const {
     const NodeT* node = search(k);
+    check::perturb_point(check::PerturbPoint::kLocateAfterDescent);
+#if defined(LOT_INJECT_BUG)
+    // Intentionally broken linearization (checker negative control): trust
+    // the physical descent alone. A key that momentarily lives only in the
+    // ordering layout — mid-insert, or a successor detached during a
+    // two-child removal — is reported absent even though it was inserted
+    // long ago, which no linearization of the history can explain.
+    return node;
+#else
     while (cmp(node, k) > 0) {
+      node = node->pred.load(std::memory_order_acquire);
+    }
+    // Back off marked nodes before walking forward. Without this a search
+    // can land on a *stale duplicate*: a removed-but-not-yet-unlinked-from-
+    // the-tree node with key == k, while a re-inserted k lives elsewhere on
+    // the chain — the walk below would never move and the lookup would miss
+    // a present key. (DESIGN.md pseudocode errata; the verified variant in
+    // Wolff's plankton examples carries the same extra loop. Found by the
+    // schedule-perturbed linearizability harness, tests/stress/.) Marked
+    // nodes keep pred pointers to strictly smaller keys and -inf is never
+    // marked, so this terminates.
+    while (node->mark.load(std::memory_order_acquire)) {
       node = node->pred.load(std::memory_order_acquire);
     }
     while (cmp(node, k) < 0) {
       node = node->succ.load(std::memory_order_acquire);
     }
     return node;
+#endif
   }
 
   /// Algorithm 4. Requires p's succ_lock held (so neither candidate can be
@@ -414,7 +469,12 @@ class LoMap {
   /// taken downward are against the bottom-up order, so they are try_lock
   /// + full restart (paper §5.1). Returns true iff n has two children.
   bool acquire_tree_locks(NodeT* n) {
+    // Pause between retries: the holder of a failed try_lock target may be
+    // blocked on a lock we hold, and on a uniprocessor an immediate retry
+    // never lets it run (see restart_balance in lo/rebalance.hpp).
+    sync::Backoff backoff;
     for (;;) {
+      backoff.pause();
       n->tree_lock.lock();
       NodeT* np = detail::lock_parent(n);
 
@@ -493,6 +553,9 @@ class LoMap {
     // Detach s, then read n's layout: when parent == n this order makes
     // n->right already point at child, which is exactly s's new right.
     detail::update_child(parent, s, child);
+    // s is now reachable only through the logical ordering (§3.3) — the
+    // window the paper's lock-free contains is designed to survive.
+    check::perturb_point(check::PerturbPoint::kRelocateDetached);
     NodeT* nl = n->left.load(std::memory_order_relaxed);
     NodeT* nr = n->right.load(std::memory_order_relaxed);
     s->left.store(nl, std::memory_order_release);

@@ -25,6 +25,7 @@
 #include "lo/node.hpp"
 #include "lo/rebalance.hpp"
 #include "reclaim/ebr.hpp"
+#include "sync/backoff.hpp"
 
 namespace lot::lo {
 
@@ -241,8 +242,11 @@ class PartialMap {
         nn->succ.store(s, std::memory_order_relaxed);
         nn->pred.store(p, std::memory_order_relaxed);
         nn->parent.store(parent, std::memory_order_relaxed);
-        s->pred.store(nn, std::memory_order_release);
+        // Succ link first — it is the linearization point and the
+        // authoritative chain direction; the pred hint follows (see the
+        // store-order note in lo/map.hpp insert()).
         p->succ.store(nn, std::memory_order_release);
+        s->pred.store(nn, std::memory_order_release);
         p->succ_lock.unlock();
         insert_to_tree(parent, nn);
         return true;
@@ -324,6 +328,7 @@ class PartialMap {
   NodeT* debug_root() const { return root_; }
   NodeT* debug_neg_sentinel() const { return neg_; }
   NodeT* debug_pos_sentinel() const { return pos_; }
+  Compare key_comp() const { return comp_; }
 
  private:
   static bool is_present(const NodeT* n) {
@@ -353,6 +358,14 @@ class PartialMap {
   const NodeT* locate(const K& k) const {
     const NodeT* node = search(k);
     while (cmp(node, k) > 0) {
+      node = node->pred.load(std::memory_order_acquire);
+    }
+    // Back off marked (physically unlinked) nodes before walking forward,
+    // exactly as in LoMap::locate: a stale duplicate still reachable in
+    // the tree layout must not shadow a re-inserted key on the chain.
+    // (`deleted` zombies stay on the chain and are NOT skipped — presence
+    // is decided by the caller.)
+    while (node->mark.load(std::memory_order_acquire)) {
       node = node->pred.load(std::memory_order_acquire);
     }
     while (cmp(node, k) < 0) {
@@ -413,7 +426,11 @@ class PartialMap {
   /// with np/child set when n has at most one child; returns false with
   /// no tree locks held when n has two children.
   bool acquire_unlink_locks(NodeT* n, NodeT*& np, NodeT*& child) {
+    // Pause between retries so a child-lock holder blocked on n can run on
+    // a uniprocessor (see restart_balance in lo/rebalance.hpp).
+    sync::Backoff backoff;
     for (;;) {
+      backoff.pause();
       n->tree_lock.lock();
       np = detail::lock_parent(n);
       NodeT* r = n->right.load(std::memory_order_relaxed);

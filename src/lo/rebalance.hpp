@@ -21,8 +21,10 @@
 #include <cstdlib>
 #include <utility>
 
+#include "check/perturb.hpp"
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
+#include "sync/backoff.hpp"
 
 namespace lot::lo::detail {
 
@@ -38,8 +40,16 @@ bool restart_balance(N* node, N*& parent, N*& child) {
     parent->tree_lock.unlock();
     parent = nullptr;
   }
+  sync::Backoff backoff;
   for (;;) {
     node->tree_lock.unlock();
+    // The pause between unlock and relock is load-bearing on a uniprocessor:
+    // whoever holds the child lock we keep failing to take may itself be
+    // blocked on *node* (a climber in lock_parent), and with a back-to-back
+    // unlock/lock it can only slip in if the scheduler preempts us inside
+    // that instruction-wide window — a livelock in practice (found by the
+    // schedule-perturbed stress, tests/stress/, on the one-core CI box).
+    backoff.pause();
     node->tree_lock.lock();
     if (node->mark.load(std::memory_order_acquire)) {
       node->tree_lock.unlock();
@@ -102,6 +112,7 @@ void rebalance(N* root, N* node, N* child, bool first_is_left) {
           is_left = (node->left.load(std::memory_order_relaxed) == child);
           continue;
         }
+        check::perturb_point(check::PerturbPoint::kRotate);
         rotate(grand, child, node, is_left);
         child->tree_lock.unlock();
         child = grand;
@@ -109,6 +120,7 @@ void rebalance(N* root, N* node, N* child, bool first_is_left) {
 
       // Main rotation: node goes below its (taller) child.
       if (parent == nullptr) parent = lock_parent(node);
+      check::perturb_point(check::PerturbPoint::kRotate);
       rotate(child, node, parent, !is_left);
 
       bf = node->balance_factor();

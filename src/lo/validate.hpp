@@ -1,11 +1,19 @@
 // Quiescent-state structural validation for the logical-ordering trees.
-// Every check here is an invariant the paper relies on; the concurrent
-// stress tests drive the tree hard and then call validate() with all
-// worker threads joined.
+// Every check here is an invariant the paper relies on.
+//
+// Callable from multi-threaded *quiescent points*, not only after joining
+// all workers: the contract is that no operation is in flight while
+// validate() runs — e.g. every worker thread is parked at a stress-phase
+// barrier (tests/stress/stress_common.hpp) while one thread validates.
+// To honour that contract the walk is iterative (an explicit stack, so a
+// stress-shaped unbalanced tree cannot overflow the validating thread's
+// stack), guards against cyclic corruption instead of hanging, and uses
+// the map's own comparator rather than assuming std::less.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -38,57 +46,104 @@ struct ValidationReport {
 
 namespace detail_validate {
 
+/// Iterative post-order walk over the physical tree: per-node checks on
+/// first visit, cached-height/balance checks once both subtrees' true
+/// heights are known.
 template <typename NodeT, typename Cmp>
-void walk_tree(const NodeT* node, const NodeT* expected_parent,
+void walk_tree(const NodeT* top, const NodeT* root,
                const std::set<const NodeT*>& chain, ValidationReport& rep,
-               const Cmp& less, const NodeT* lo, const NodeT* hi,
+               const Cmp& less, const NodeT* neg, const NodeT* pos,
                bool check_heights, std::int32_t& height_out) {
-  if (node == nullptr) {
-    height_out = 0;
-    return;
-  }
-  ++rep.tree_nodes;
-  if (node->parent.load(std::memory_order_relaxed) != expected_parent) {
-    rep.fail("parent pointer inconsistent at a tree node");
-  }
-  if (node->mark.load(std::memory_order_relaxed)) {
-    rep.fail("marked (removed) node reachable in the tree layout");
-  }
-  if (chain.count(node) == 0) {
-    rep.fail("tree node missing from the logical ordering chain");
-  }
-  // BST order via the bounding nodes (handles sentinels without needing
-  // key infinities).
-  if (lo != nullptr && lo->tag == Tag::kNormal &&
-      !(node->tag == Tag::kPosInf || less(lo->key, node->key))) {
-    rep.fail("BST order violated (node not above its lower bound)");
-  }
-  if (hi != nullptr && hi->tag == Tag::kNormal &&
-      !(node->tag == Tag::kNegInf || less(node->key, hi->key))) {
-    rep.fail("BST order violated (node not below its upper bound)");
-  }
-  if (node->tree_lock.is_locked() || node->succ_lock.is_locked()) {
-    rep.fail("lock left held at quiescence");
-  }
+  height_out = 0;
+  if (top == nullptr) return;
 
-  std::int32_t lh = 0;
-  std::int32_t rh = 0;
-  walk_tree(node->left.load(std::memory_order_relaxed), node, chain, rep,
-            less, lo, node, check_heights, lh);
-  walk_tree(node->right.load(std::memory_order_relaxed), node, chain, rep,
-            less, node, hi, check_heights, rh);
-  if (check_heights) {
-    if (node->left_height.load(std::memory_order_relaxed) != lh ||
-        node->right_height.load(std::memory_order_relaxed) != rh) {
-      rep.fail("cached subtree heights stale at quiescence");
-    }
-    const std::int32_t bf = lh - rh;
-    if (bf < -1 || bf > 1) {
-      rep.fail("AVL balance violated at quiescence (|bf| = " +
-               std::to_string(bf < 0 ? -bf : bf) + ")");
+  struct Frame {
+    const NodeT* node;
+    const NodeT* expected_parent;
+    const NodeT* lo;
+    const NodeT* hi;
+    std::int32_t lh = 0;
+    std::int32_t rh = 0;
+    int stage = 0;  // 0: visit node, 1: left subtree done, 2: right done
+  };
+  std::vector<Frame> stack;
+  stack.push_back({top, root, neg, pos});
+  std::int32_t done_height = 0;  // height of the last completed subtree
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const NodeT* node = f.node;
+    switch (f.stage) {
+      case 0: {
+        f.stage = 1;
+        ++rep.tree_nodes;
+        if (rep.tree_nodes > chain.size()) {
+          // Every tree node must be a chain node; exceeding the chain size
+          // means duplicate reachability or a cycle — stop, or the walk
+          // never terminates.
+          rep.fail("tree reaches more nodes than the ordering chain holds");
+          return;
+        }
+        if (node->parent.load(std::memory_order_relaxed) !=
+            f.expected_parent) {
+          rep.fail("parent pointer inconsistent at a tree node");
+        }
+        if (node->mark.load(std::memory_order_relaxed)) {
+          rep.fail("marked (removed) node reachable in the tree layout");
+        }
+        if (chain.count(node) == 0) {
+          rep.fail("tree node missing from the logical ordering chain");
+        }
+        // BST order via the bounding nodes (handles sentinels without
+        // needing key infinities).
+        if (f.lo != nullptr && f.lo->tag == Tag::kNormal &&
+            !(node->tag == Tag::kPosInf || less(f.lo->key, node->key))) {
+          rep.fail("BST order violated (node not above its lower bound)");
+        }
+        if (f.hi != nullptr && f.hi->tag == Tag::kNormal &&
+            !(node->tag == Tag::kNegInf || less(node->key, f.hi->key))) {
+          rep.fail("BST order violated (node not below its upper bound)");
+        }
+        if (node->tree_lock.is_locked() || node->succ_lock.is_locked()) {
+          rep.fail("lock left held at quiescence");
+        }
+        if (const NodeT* l = node->left.load(std::memory_order_relaxed)) {
+          stack.push_back({l, node, f.lo, node});
+        } else {
+          done_height = 0;
+        }
+        break;
+      }
+      case 1: {
+        f.lh = done_height;
+        f.stage = 2;
+        if (const NodeT* r = node->right.load(std::memory_order_relaxed)) {
+          stack.push_back({r, node, node, f.hi});
+        } else {
+          done_height = 0;
+        }
+        break;
+      }
+      default: {
+        f.rh = done_height;
+        if (check_heights) {
+          if (node->left_height.load(std::memory_order_relaxed) != f.lh ||
+              node->right_height.load(std::memory_order_relaxed) != f.rh) {
+            rep.fail("cached subtree heights stale at quiescence");
+          }
+          const std::int32_t bf = f.lh - f.rh;
+          if (bf < -1 || bf > 1) {
+            rep.fail("AVL balance violated at quiescence (|bf| = " +
+                     std::to_string(bf < 0 ? -bf : bf) + ")");
+          }
+        }
+        done_height = (f.lh > f.rh ? f.lh : f.rh) + 1;
+        stack.pop_back();
+        break;
+      }
     }
   }
-  height_out = (lh > rh ? lh : rh) + 1;
+  height_out = done_height;
 }
 
 }  // namespace detail_validate
@@ -102,6 +157,8 @@ void walk_tree(const NodeT* node, const NodeT* expected_parent,
 ///  * (AVL) cached heights are exact and every balance factor is in
 ///    {-1, 0, 1} — the relaxed scheme must be strict at quiescence;
 ///  * no per-node lock is left held.
+/// Safe to call from one thread while the others are parked at a barrier
+/// (see the header comment); never call it with operations in flight.
 template <typename MapT>
 ValidationReport validate(const MapT& map, bool check_heights,
                           bool partial = false) {
@@ -111,9 +168,18 @@ ValidationReport validate(const MapT& map, bool check_heights,
   const NodeT* pos = map.debug_pos_sentinel();
   const NodeT* root = map.debug_root();
 
+  // The map's own comparator when it exposes one (LoMap/PartialMap do);
+  // std::less otherwise, as before.
+  auto less = [&map] {
+    if constexpr (requires { map.key_comp(); }) {
+      return map.key_comp();
+    } else {
+      return std::less<typename MapT::key_type>{};
+    }
+  }();
+
   // --- ordering chain ---
   std::set<const NodeT*> chain;
-  std::less<typename MapT::key_type> less;
   const NodeT* prev = neg;
   const NodeT* node = neg->succ.load(std::memory_order_relaxed);
   while (node != nullptr && node != pos) {
@@ -145,11 +211,10 @@ ValidationReport validate(const MapT& map, bool check_heights,
   rep.chain_nodes = chain.size();
 
   // --- physical tree (hangs off the +inf sentinel's left child) ---
-  std::set<const NodeT*> tree_set = chain;  // membership check inside walk
   std::int32_t height = 0;
   detail_validate::walk_tree(root->left.load(std::memory_order_relaxed),
-                             root, tree_set, rep, less, neg, pos,
-                             check_heights, height);
+                             root, chain, rep, less, neg, pos, check_heights,
+                             height);
   rep.height = height;
   if (!partial && rep.tree_nodes != rep.chain_nodes) {
     rep.fail("tree layout and ordering chain disagree on membership (" +

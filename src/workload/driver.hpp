@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/history.hpp"
 #include "sync/barrier.hpp"
 #include "util/random.hpp"
 #include "util/stopwatch.hpp"
@@ -71,6 +72,57 @@ TrialResult run_trial(MapT& map, const Spec& spec, unsigned threads,
   for (auto o : ops) r.total_ops += o;
   r.seconds = elapsed;
   r.mops_per_sec = static_cast<double>(r.total_ops) / elapsed / 1e6;
+  return r;
+}
+
+/// History-capture mode: the trial's operation mix with every operation
+/// recorded into `rec` for offline linearizability checking (src/check/).
+/// Ops-bounded rather than time-bounded so the per-thread log capacity can
+/// be sized up front (rec must hold `threads` logs of >= ops_per_thread
+/// events). The same mix/key distribution as run_trial; throughput numbers
+/// from recorded runs are NOT comparable to unrecorded ones — the logical
+/// clock is a shared atomic the paper's hot path does not have.
+template <typename MapT>
+TrialResult run_recorded_trial(
+    MapT& map, const Spec& spec, unsigned threads,
+    std::uint64_t ops_per_thread, std::uint64_t seed,
+    check::HistoryRecorder<typename MapT::key_type>& rec) {
+  using K = typename MapT::key_type;
+  sync::ThreadBarrier barrier(threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(seed * 1315423911ULL + t);
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        const auto key = static_cast<K>(
+            rng.next_below(static_cast<std::uint64_t>(spec.key_range)));
+        const auto dice = rng.next_below(100);
+        if (dice < spec.contains_pct) {
+          rec.record(t, check::Op::kContains, key,
+                     [&] { return map.contains(key); });
+        } else if (dice < spec.contains_pct + spec.insert_pct) {
+          rec.record(t, check::Op::kInsert, key,
+                     [&] { return map.insert(key, key); });
+        } else {
+          rec.record(t, check::Op::kRemove, key,
+                     [&] { return map.erase(key); });
+        }
+      }
+    });
+  }
+
+  util::Stopwatch watch;
+  barrier.arrive_and_wait();
+  watch.restart();
+  for (auto& w : workers) w.join();
+
+  TrialResult r;
+  r.total_ops = static_cast<std::uint64_t>(threads) * ops_per_thread;
+  r.seconds = watch.elapsed_seconds();
+  r.mops_per_sec = static_cast<double>(r.total_ops) / r.seconds / 1e6;
   return r;
 }
 

@@ -1,0 +1,232 @@
+// Shared machinery for the schedule-perturbing stress tests.
+//
+// A stress run is phases of recorded random churn from N persistent worker
+// threads, with three barrier crossings per phase:
+//   1. all workers release into the phase's op loop;
+//   2. workers park after their ops — thread 0 runs the full structural
+//      validation (lo/validate.hpp) against the now-quiescent tree and
+//      escalates the perturbation intensity for the next phase;
+//   3. workers release past the validation.
+// Every operation is recorded (check/history.hpp); after the workers join,
+// the merged history goes through the linearizability checker. On a
+// rejected history expect_linearizable() dumps the complete history plus
+// the violation witness to $LOT_HISTORY_DUMP (default ./history.txt) so
+// scripts/check.sh can surface the artifact.
+//
+// These tests compile the trees with LOT_SCHEDULE_PERTURB (see
+// tests/stress/CMakeLists.txt), so the named points in lo/map.hpp and
+// lo/rebalance.hpp inject randomized pauses that widen the algorithm's
+// race windows — on the single-core CI box, that is where essentially all
+// mid-operation interleavings come from.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/linearize.hpp"
+#include "check/perturb.hpp"
+#include "lo/validate.hpp"
+#include "sync/barrier.hpp"
+#include "util/random.hpp"
+
+#ifndef LOT_STRESS_DIVISOR
+#define LOT_STRESS_DIVISOR 1
+#endif
+
+namespace lot::stress {
+
+/// Scales an iteration count down for slow instrumented builds (TSan
+/// targets set LOT_STRESS_DIVISOR to ~20).
+constexpr std::uint64_t scaled(std::uint64_t n) {
+  const std::uint64_t s = n / LOT_STRESS_DIVISOR;
+  return s > 0 ? s : 1;
+}
+
+struct StressParams {
+  unsigned threads = 8;
+  int phases = 3;
+  std::uint64_t ops_per_phase = scaled(12'000);  // per thread
+  std::int64_t key_range = 192;
+  std::uint64_t seed = 1;
+  bool check_heights = false;       // true for the AVL variants
+  unsigned contains_pct = 40;
+  unsigned insert_pct = 30;         // remainder of 100 is erase
+  std::uint32_t fire_permille = 30; // phase-0 intensity; later phases escalate
+  std::uint32_t max_sleep_us = 60;
+  bool prefill = true;              // recorded half-dense prefill
+};
+
+template <typename KeyT>
+struct StressOutcome {
+  check::CheckResult<KeyT> result;
+  std::vector<check::Event<KeyT>> history;
+  std::uint64_t total_ops = 0;
+  double check_ms = 0.0;  // offline checker wall time
+};
+
+/// Runs the checker over a merged history, timing it and filling the
+/// outcome fields shared by the stress tests.
+template <typename KeyT>
+StressOutcome<KeyT> check_history(std::vector<check::Event<KeyT>> history) {
+  StressOutcome<KeyT> out;
+  out.history = std::move(history);
+  out.total_ops = out.history.size();
+  const auto t0 = std::chrono::steady_clock::now();
+  out.result = check::check_set_history(out.history);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.check_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+/// One-line checker-stats summary (gtest-style informational output, also
+/// the source for the EXPERIMENTS.md checker-runtime table).
+template <typename KeyT>
+void print_check_stats(const char* tag, const StressOutcome<KeyT>& out) {
+  const auto& s = out.result.stats;
+  std::printf(
+      "[ checker  ] %s: %llu events, %llu keys, %llu overlap blocks "
+      "(max %llu), %llu configs, %.2f ms\n",
+      tag, static_cast<unsigned long long>(s.events),
+      static_cast<unsigned long long>(s.keys),
+      static_cast<unsigned long long>(s.overlap_blocks),
+      static_cast<unsigned long long>(s.max_block),
+      static_cast<unsigned long long>(s.configs_explored), out.check_ms);
+}
+
+/// Runs the recorded, perturbed, phase-validated stress described in the
+/// header comment and returns the checker's verdict plus the raw history.
+/// Structural validation failures and recorder overflow surface as test
+/// failures here; the linearizability verdict is the caller's to assert,
+/// because the seeded-bug test *wants* a rejection.
+template <typename MapT>
+StressOutcome<typename MapT::key_type> run_perturbed_stress(
+    MapT& map, const StressParams& p) {
+  using K = typename MapT::key_type;
+  const std::size_t capacity =
+      p.ops_per_phase * static_cast<std::size_t>(p.phases) +
+      static_cast<std::size_t>(p.key_range) + 8;
+  check::HistoryRecorder<K> rec(p.threads, capacity);
+
+  if (p.prefill) {
+    // Recorded single-threaded prefill: every other key present, so erase
+    // and contains hit live keys (and two-child removals, the relocation
+    // path the perturbation targets) from the first operation.
+    for (std::int64_t k = 0; k < p.key_range; k += 2) {
+      rec.record(0, check::Op::kInsert, static_cast<K>(k),
+                 [&] { return map.insert(static_cast<K>(k), static_cast<K>(k)); });
+    }
+  }
+
+  check::reset_perturb_hits();
+  check::set_perturbation(p.fire_permille, p.max_sleep_us);
+  check::enable_perturbation(true);
+
+  sync::ThreadBarrier barrier(p.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(p.threads);
+  for (unsigned t = 0; t < p.threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Xoshiro256 rng(p.seed * 0x9E3779B97F4A7C15ULL + t + 1);
+      auto phase_start = std::chrono::steady_clock::now();
+      for (int phase = 0; phase < p.phases; ++phase) {
+        barrier.arrive_and_wait();  // (1) phase start
+        for (std::uint64_t i = 0; i < p.ops_per_phase; ++i) {
+          const K key = static_cast<K>(
+              rng.next_below(static_cast<std::uint64_t>(p.key_range)));
+          const auto dice = rng.next_below(100);
+          if (dice < p.contains_pct) {
+            rec.record(t, check::Op::kContains, key,
+                       [&] { return map.contains(key); });
+          } else if (dice < p.contains_pct + p.insert_pct) {
+            rec.record(t, check::Op::kInsert, key,
+                       [&] { return map.insert(key, key); });
+          } else {
+            rec.record(t, check::Op::kRemove, key,
+                       [&] { return map.erase(key); });
+          }
+        }
+        barrier.arrive_and_wait();  // (2) everyone parked: quiescent point
+        if (t == 0) {
+          std::printf("[ stress   ] phase %d done (%.1fs)\n", phase,
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - phase_start)
+                          .count());
+          std::fflush(stdout);
+          phase_start = std::chrono::steady_clock::now();
+          const auto rep = lo::validate(map, p.check_heights);
+          EXPECT_TRUE(rep.ok) << "structural validation failed after phase "
+                              << phase << ":\n"
+                              << rep.to_string();
+          // Escalate the firing rate each phase; cap the sleep length at
+          // 2x base — longer sleeps under the AVL tree locks (rotations
+          // hold them) serialize the whole run on the one-core CI box
+          // without widening the windows any further.
+          const std::uint32_t permille = p.fire_permille << (phase + 1);
+          const std::uint32_t sleep_us = p.max_sleep_us << (phase + 1);
+          const std::uint32_t sleep_cap = p.max_sleep_us * 2;
+          check::set_perturbation(permille > 1000 ? 1000 : permille,
+                                  sleep_us > sleep_cap ? sleep_cap : sleep_us);
+        }
+        barrier.arrive_and_wait();  // (3) release past validation
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  check::enable_perturbation(false);
+
+  EXPECT_FALSE(rec.overflowed()) << "history log overflow: grow capacity";
+  {
+    const auto rep = lo::validate(map, p.check_heights);
+    EXPECT_TRUE(rep.ok) << "final structural validation failed:\n"
+                        << rep.to_string();
+  }
+
+  return check_history(rec.merged());
+}
+
+/// Writes the full history and (if any) violation witness where
+/// scripts/check.sh expects the artifact.
+template <typename KeyT>
+std::string dump_history_artifact(const StressOutcome<KeyT>& out) {
+  const char* env = std::getenv("LOT_HISTORY_DUMP");
+  const std::string path = (env != nullptr && *env != '\0') ? env
+                                                            : "history.txt";
+  std::ofstream f(path, std::ios::trunc);
+  f << "# verdict: "
+    << (out.result.verdict == check::Verdict::kLinearizable
+            ? "linearizable"
+            : out.result.verdict == check::Verdict::kNonLinearizable
+                  ? "NON-LINEARIZABLE"
+                  : "aborted (budget)")
+    << "\n# reason: " << out.result.reason << "\n";
+  if (!out.result.witness.empty()) {
+    f << "# offending block:\n"
+      << check::format_history(out.result.witness);
+  }
+  f << "# full history (" << out.history.size() << " events):\n"
+    << check::format_history(out.history);
+  return path;
+}
+
+/// Asserts the outcome is linearizable; on failure dumps the artifact and
+/// points at it in the assertion message.
+template <typename KeyT>
+void expect_linearizable(const StressOutcome<KeyT>& out) {
+  if (out.result.ok()) return;
+  const std::string path = dump_history_artifact(out);
+  ADD_FAILURE() << "history of " << out.history.size()
+                << " events is not linearizable: " << out.result.reason
+                << "\nfull history dumped to " << path;
+}
+
+}  // namespace lot::stress

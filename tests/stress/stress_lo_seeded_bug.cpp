@@ -1,0 +1,64 @@
+// Checker sensitivity proof: this target compiles the tree with
+// LOT_INJECT_BUG, which makes locate() trust the physical tree alone —
+// it skips the logical-ordering walk that the paper's contains() needs
+// for correctness while a two-child removal has the successor detached
+// from the tree layout (lo/map.hpp, kRelocateDetached window). With the
+// perturbation stretching that window, a reader descending at the wrong
+// moment reports a long-present key absent: a contains(k)=false whose
+// interval overlaps no insert/remove of k. The history checker must
+// reject such a history; if it ever stopped doing so, the whole
+// linearizability harness would be vacuous.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lo/bst.hpp"
+#include "stress_common.hpp"
+
+#ifndef LOT_INJECT_BUG
+#error "this target must be compiled with LOT_INJECT_BUG"
+#endif
+
+namespace {
+
+using K = std::int64_t;
+using lot::stress::run_perturbed_stress;
+using lot::stress::scaled;
+using lot::stress::StressParams;
+
+TEST(SeededBug, CheckerRejectsTreeOnlyContains) {
+  // Dense prefill + erase/contains-heavy mix maximizes two-child removals
+  // racing readers; aggressive perturbation stretches the detached window.
+  // Each attempt is an independent seed; the bug fires probabilistically,
+  // so allow a few runs before declaring the checker blind.
+  constexpr int kAttempts = 5;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    lot::lo::BstMap<K, K> map;
+    StressParams p;
+    p.threads = 8;
+    p.phases = 1;
+    p.ops_per_phase = scaled(10'000);
+    p.key_range = 256;
+    p.contains_pct = 50;
+    p.insert_pct = 20;
+    p.fire_permille = 80;
+    p.max_sleep_us = 200;
+    p.seed = 1000 + static_cast<std::uint64_t>(attempt);
+    const auto out = run_perturbed_stress(map, p);
+    if (out.result.verdict == lot::check::Verdict::kNonLinearizable) {
+      EXPECT_FALSE(out.result.witness.empty());
+      EXPECT_FALSE(out.result.reason.empty());
+      SUCCEED() << "seeded bug caught on attempt " << attempt << ": "
+                << out.result.reason;
+      return;
+    }
+    ASSERT_NE(out.result.verdict, lot::check::Verdict::kAborted)
+        << out.result.reason;
+  }
+  FAIL() << "checker accepted " << kAttempts
+         << " histories from the seeded-bug tree — either the injected "
+            "race never fired (perturbation too weak) or the checker "
+            "cannot see result-level violations";
+}
+
+}  // namespace

@@ -1,0 +1,257 @@
+// Unit tests for the linearizability-checking subsystem (src/check/):
+// hand-built histories with known verdicts, the interval-block pre-pass,
+// the WGL search on genuinely overlapping blocks, recorder mechanics, and
+// a randomized differential against a sequential std::set oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/linearize.hpp"
+#include "lo/bst.hpp"
+
+namespace {
+
+using lot::check::check_set_history;
+using lot::check::Event;
+using lot::check::HistoryRecorder;
+using lot::check::Op;
+using lot::check::Verdict;
+
+using K = std::int64_t;
+
+Event<K> ev(std::uint64_t invoke, std::uint64_t response, Op op, K key,
+            bool result, std::uint16_t thread = 0) {
+  return Event<K>{invoke, response, key, op, result, thread};
+}
+
+TEST(Linearize, EmptyHistory) {
+  const auto res = check_set_history<K>({});
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.stats.events, 0u);
+  EXPECT_EQ(res.stats.keys, 0u);
+}
+
+TEST(Linearize, SequentialLifecycleAccepted) {
+  const auto res = check_set_history<K>({
+      ev(1, 2, Op::kContains, 7, false),
+      ev(3, 4, Op::kInsert, 7, true),
+      ev(5, 6, Op::kInsert, 7, false),
+      ev(7, 8, Op::kContains, 7, true),
+      ev(9, 10, Op::kRemove, 7, true),
+      ev(11, 12, Op::kRemove, 7, false),
+      ev(13, 14, Op::kContains, 7, false),
+  });
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.stats.sequential_events, 7u);
+  EXPECT_EQ(res.stats.overlap_blocks, 0u);
+}
+
+TEST(Linearize, WrongContainsRejected) {
+  const auto res = check_set_history<K>({
+      ev(1, 2, Op::kInsert, 5, true),
+      ev(3, 4, Op::kContains, 5, false),  // 5 is present; no overlap excuse
+  });
+  EXPECT_EQ(res.verdict, Verdict::kNonLinearizable);
+  EXPECT_EQ(res.key, 5);
+  ASSERT_EQ(res.witness.size(), 1u);
+  EXPECT_EQ(res.witness[0].op, Op::kContains);
+  EXPECT_FALSE(res.reason.empty());
+}
+
+TEST(Linearize, DoubleInsertRejected) {
+  const auto res = check_set_history<K>({
+      ev(1, 2, Op::kInsert, 1, true),
+      ev(3, 4, Op::kInsert, 1, true),  // no remove in between
+  });
+  EXPECT_EQ(res.verdict, Verdict::kNonLinearizable);
+  EXPECT_EQ(res.key, 1);
+}
+
+TEST(Linearize, RemoveOfAbsentKeyRejected) {
+  const auto res = check_set_history<K>({ev(1, 2, Op::kRemove, 2, true)});
+  EXPECT_EQ(res.verdict, Verdict::kNonLinearizable);
+}
+
+TEST(Linearize, InitialMembershipRespected) {
+  EXPECT_TRUE(check_set_history<K>({ev(1, 2, Op::kContains, 4, true)}, {4})
+                  .ok());
+  EXPECT_TRUE(check_set_history<K>({ev(1, 2, Op::kRemove, 4, true)}, {4})
+                  .ok());
+  const auto res =
+      check_set_history<K>({ev(1, 2, Op::kInsert, 4, true)}, {4});
+  EXPECT_EQ(res.verdict, Verdict::kNonLinearizable);
+}
+
+// contains(3)=true is invoked before the only insert(3) responds, but the
+// intervals overlap, so the order insert-then-contains is a valid
+// linearization. Forces the WGL path (the two intervals chain).
+TEST(Linearize, OverlapAllowsReordering) {
+  const auto res = check_set_history<K>({
+      ev(1, 4, Op::kContains, 3, true),
+      ev(2, 6, Op::kInsert, 3, true),
+  });
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.stats.overlap_blocks, 1u);
+  EXPECT_EQ(res.stats.max_block, 2u);
+  EXPECT_GT(res.stats.configs_explored, 0u);
+}
+
+TEST(Linearize, OverlapStillRejectsImpossible) {
+  const auto res = check_set_history<K>({
+      ev(1, 4, Op::kInsert, 3, true),
+      ev(2, 6, Op::kInsert, 3, true),  // overlapping, but no remove exists
+  });
+  EXPECT_EQ(res.verdict, Verdict::kNonLinearizable);
+  EXPECT_EQ(res.witness.size(), 2u);
+}
+
+// Three mutually overlapping ops; both observed contains results have a
+// valid order (insert < contains < remove, or insert < remove < contains).
+TEST(Linearize, ConcurrentTrioBothContainsResultsValid) {
+  for (bool observed : {true, false}) {
+    const auto res = check_set_history<K>({
+        ev(1, 10, Op::kInsert, 9, true),
+        ev(2, 9, Op::kRemove, 9, true),
+        ev(3, 8, Op::kContains, 9, observed),
+    });
+    EXPECT_TRUE(res.ok()) << "observed=" << observed << ": " << res.reason;
+  }
+}
+
+// The state bit must thread *across* interval blocks: an overlapping pair
+// that can only end in {present} must make a later sequential contains
+// observe true.
+TEST(Linearize, StateCrossesBlockBoundary) {
+  const auto res = check_set_history<K>({
+      ev(1, 4, Op::kInsert, 6, true),
+      ev(2, 5, Op::kContains, 6, true),
+      ev(10, 11, Op::kContains, 6, false),  // impossible: 6 stays present
+  });
+  EXPECT_EQ(res.verdict, Verdict::kNonLinearizable);
+  EXPECT_EQ(res.key, 6);
+}
+
+TEST(Linearize, KeysCheckedIndependently) {
+  const auto res = check_set_history<K>({
+      ev(1, 20, Op::kInsert, 100, true),  // long op on key 100...
+      ev(2, 3, Op::kInsert, 200, true),   // ...does not overlap key 200's
+      ev(4, 5, Op::kContains, 200, true),
+      ev(6, 7, Op::kRemove, 300, false),
+  });
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.stats.keys, 3u);
+  EXPECT_EQ(res.stats.overlap_blocks, 0u);
+  EXPECT_EQ(res.stats.sequential_events, 4u);
+}
+
+TEST(Linearize, TinyBudgetAborts) {
+  // Ten mutually overlapping inserts/removes force a search that cannot
+  // finish within one configuration.
+  std::vector<Event<K>> h;
+  for (int i = 0; i < 5; ++i) {
+    h.push_back(ev(1 + i, 100 + i, Op::kInsert, 0, i == 0));
+    h.push_back(ev(10 + i, 110 + i, Op::kRemove, 0, i == 0));
+  }
+  const auto res = check_set_history<K>(std::move(h), {}, /*budget=*/1);
+  EXPECT_EQ(res.verdict, Verdict::kAborted);
+  EXPECT_FALSE(res.reason.empty());
+}
+
+// Randomized differential: histories generated by a sequential std::set
+// run are linearizable; flipping any single result makes them not.
+TEST(Linearize, SequentialOracleDifferential) {
+  std::mt19937_64 gen(20260805);
+  for (int round = 0; round < 25; ++round) {
+    std::set<K> oracle;
+    std::vector<Event<K>> h;
+    std::uint64_t clock = 1;
+    for (int i = 0; i < 200; ++i) {
+      const K key = static_cast<K>(gen() % 12);
+      const auto dice = gen() % 3;
+      bool result;
+      Op op;
+      if (dice == 0) {
+        op = Op::kInsert;
+        result = oracle.insert(key).second;
+      } else if (dice == 1) {
+        op = Op::kRemove;
+        result = oracle.erase(key) > 0;
+      } else {
+        op = Op::kContains;
+        result = oracle.count(key) > 0;
+      }
+      const std::uint64_t t0 = clock++;
+      h.push_back(ev(t0, clock++, op, key, result));
+    }
+    ASSERT_TRUE(check_set_history<K>(h).ok());
+
+    auto flipped = h;
+    flipped[gen() % flipped.size()].result ^= true;
+    EXPECT_EQ(check_set_history<K>(std::move(flipped)).verdict,
+              Verdict::kNonLinearizable)
+        << "round " << round;
+  }
+}
+
+TEST(Recorder, StampsAndMerge) {
+  HistoryRecorder<K> rec(2, 8);
+  EXPECT_TRUE(rec.record(1, Op::kInsert, 42, [] { return true; }));
+  EXPECT_FALSE(rec.record(0, Op::kContains, 41, [] { return false; }));
+  const auto events = rec.merged();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by invocation: the insert ran first.
+  EXPECT_EQ(events[0].op, Op::kInsert);
+  EXPECT_EQ(events[0].thread, 1u);
+  EXPECT_LT(events[0].invoke, events[0].response);
+  EXPECT_LT(events[0].response, events[1].invoke);
+  EXPECT_FALSE(rec.overflowed());
+  EXPECT_EQ(rec.total_events(), 2u);
+}
+
+TEST(Recorder, OverflowFlaggedNotWrapped) {
+  HistoryRecorder<K> rec(1, 2);
+  for (int i = 0; i < 3; ++i) {
+    rec.record(0, Op::kContains, i, [] { return false; });
+  }
+  EXPECT_TRUE(rec.overflowed());
+  EXPECT_EQ(rec.total_events(), 2u);  // the third event was dropped, kept
+}
+
+TEST(Recorder, RealTreeSingleThreadedHistoryLinearizable) {
+  lot::lo::BstMap<K, K> map;
+  HistoryRecorder<K> rec(1, 512);
+  std::mt19937_64 gen(7);
+  for (int i = 0; i < 400; ++i) {
+    const K key = static_cast<K>(gen() % 16);
+    switch (gen() % 3) {
+      case 0:
+        rec.record(0, Op::kInsert, key, [&] { return map.insert(key, key); });
+        break;
+      case 1:
+        rec.record(0, Op::kRemove, key, [&] { return map.erase(key); });
+        break;
+      default:
+        rec.record(0, Op::kContains, key, [&] { return map.contains(key); });
+        break;
+    }
+  }
+  const auto res = check_set_history(rec.merged());
+  EXPECT_TRUE(res.ok()) << res.reason;
+  EXPECT_EQ(res.stats.events, 400u);
+}
+
+TEST(Linearize, FormatHistoryMentionsEveryEvent) {
+  const auto text = lot::check::format_history<K>({
+      ev(1, 2, Op::kInsert, 3, true, 4),
+      ev(5, 6, Op::kContains, 3, false, 0),
+  });
+  EXPECT_NE(text.find("insert(3) = true"), std::string::npos);
+  EXPECT_NE(text.find("contains(3) = false"), std::string::npos);
+  EXPECT_NE(text.find("t4"), std::string::npos);
+}
+
+}  // namespace

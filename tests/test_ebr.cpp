@@ -145,6 +145,53 @@ TEST(Ebr, ConcurrentRetireStress) {
   EXPECT_EQ(Tracked::live.load(), 0);
 }
 
+// A thread parked inside a guard pins its epoch: heavy retirement from
+// every other thread accumulates but no reclamation may pass the stalled
+// epoch — every object retired after the park must still be live, even
+// across explicit flushes. Once the straggler unparks, the backlog drains
+// completely, so memory stays bounded by the park duration, not leaked.
+TEST(Ebr, ParkedGuardBoundsReclamationUntilUnpark) {
+  EbrDomain domain;
+  domain.set_retire_threshold(1);  // reclaim as eagerly as possible
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread straggler([&] {
+    auto g = domain.guard();
+    parked = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  constexpr int kRetirers = 4;
+  constexpr int kPerThread = 2'000;
+  const int live_before = Tracked::live.load();
+  std::vector<std::thread> retirers;
+  for (int t = 0; t < kRetirers; ++t) {
+    retirers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto g = domain.guard();
+        domain.retire(new Tracked(i));
+      }
+    });
+  }
+  for (auto& th : retirers) th.join();
+  domain.flush();  // must not free across the straggler's pinned epoch
+
+  // The epoch advances at most once past the pin, and freeing requires two
+  // advances past the retirement epoch — so everything retired while the
+  // straggler was parked is still live.
+  EXPECT_EQ(Tracked::live.load() - live_before, kRetirers * kPerThread);
+  EXPECT_GE(domain.pending_retired(),
+            static_cast<std::size_t>(kRetirers * kPerThread));
+
+  release = true;
+  straggler.join();
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), live_before);
+  EXPECT_EQ(domain.pending_retired(), 0u);
+}
+
 // A reader must be able to keep using an object that was retired while the
 // reader's guard was active.
 TEST(Ebr, UseAfterRetireWithinGuardIsSafe) {

@@ -16,7 +16,19 @@
 #include "sync/barrier.hpp"
 #include "util/random.hpp"
 
+// Instrumented duplicates of this binary (the *_tsan targets in
+// tests/CMakeLists.txt) define LOT_STRESS_DIVISOR ~ 20: ThreadSanitizer
+// costs an order of magnitude in throughput, and the interleavings it
+// checks do not need as many iterations to surface.
+#ifndef LOT_STRESS_DIVISOR
+#define LOT_STRESS_DIVISOR 1
+#endif
+
 namespace {
+
+constexpr int scaled(int n) {
+  return n / LOT_STRESS_DIVISOR > 0 ? n / LOT_STRESS_DIVISOR : 1;
+}
 
 using lot::lo::AvlMap;
 using lot::lo::BstMap;
@@ -68,7 +80,7 @@ TYPED_TEST(LoConcurrentTest, StableKeysAlwaysFoundDuringChurn) {
   for (int t = 0; t < kWriters; ++t) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(2000 + t);
-      for (int i = 0; i < 60'000; ++i) {
+      for (int i = 0; i < scaled(60'000); ++i) {
         K k = static_cast<K>(rng.next_below(kRange));
         if (k % kStableStride == 0) ++k;  // never a stable key
         if (rng.percent(50)) {
@@ -107,7 +119,7 @@ TYPED_TEST(LoConcurrentTest, DisjointPartitionsDeterministicResult) {
       auto& mine = expected[t];
       const K base = static_cast<K>(t) * kPerThread;
       barrier.arrive_and_wait();
-      for (int i = 0; i < 40'000; ++i) {
+      for (int i = 0; i < scaled(40'000); ++i) {
         const K k = base + static_cast<K>(rng.next_below(kPerThread));
         if (rng.percent(60)) {
           const bool did = m.insert(k, k);
@@ -147,7 +159,7 @@ TYPED_TEST(LoConcurrentTest, SharedKeyspaceMixedStress) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(7 * t + 1);
-      for (int i = 0; i < 50'000; ++i) {
+      for (int i = 0; i < scaled(50'000); ++i) {
         const K k = static_cast<K>(rng.next_below(kRange));
         switch (rng.next_below(3)) {
           case 0:
@@ -189,7 +201,7 @@ TYPED_TEST(LoConcurrentTest, TwoChildRemovalTorture) {
   for (int t = 0; t < kWriters; ++t) {
     writers.emplace_back([&, t] {
       Xoshiro256 rng(100 + t);
-      for (int i = 0; i < 40'000; ++i) {
+      for (int i = 0; i < scaled(40'000); ++i) {
         K k = static_cast<K>(rng.next_below(kRange));
         if (k % 10 == 0) ++k;
         if (rng.percent(50)) {
@@ -235,7 +247,7 @@ TYPED_TEST(LoConcurrentTest, MinMaxUnderChurn) {
   for (int t = 0; t < 3; ++t) {
     writers.emplace_back([&, t] {
       Xoshiro256 rng(31 + t);
-      for (int i = 0; i < 30'000; ++i) {
+      for (int i = 0; i < scaled(30'000); ++i) {
         const K k = static_cast<K>(rng.next_below(kRange));
         if (rng.percent(50)) {
           m.erase(k);
@@ -263,7 +275,7 @@ TYPED_TEST(LoConcurrentTest, SingleKeyContention) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(t);
-      for (int i = 0; i < 30'000; ++i) {
+      for (int i = 0; i < scaled(30'000); ++i) {
         if (rng.percent(50)) {
           if (m.insert(77, t)) successful_inserts.fetch_add(1);
         } else {
@@ -307,7 +319,7 @@ TYPED_TEST(LoConcurrentTest, IterationDuringChurn) {
     });
   }
 
-  for (int round = 0; round < 50; ++round) {
+  for (int round = 0; round < scaled(50); ++round) {
     std::vector<K> seen;
     m.for_each([&](K k, V) { seen.push_back(k); });
     for (std::size_t i = 1; i < seen.size(); ++i) {
@@ -331,7 +343,7 @@ TEST(LoAvlConcurrent, QuiescentStrictBalanceAfterParallelChurn) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(77 + t);
-      for (int i = 0; i < 60'000; ++i) {
+      for (int i = 0; i < scaled(60'000); ++i) {
         const K k = static_cast<K>(rng.next_below(kRange));
         if (rng.percent(55)) {
           m.insert(k, k);
@@ -358,7 +370,7 @@ TEST(LoReclaim, NodesAreReclaimedNotLeaked) {
     for (int t = 0; t < 4; ++t) {
       threads.emplace_back([&, t] {
         Xoshiro256 rng(t);
-        for (int i = 0; i < 40'000; ++i) {
+        for (int i = 0; i < scaled(40'000); ++i) {
           const K k = static_cast<K>(rng.next_below(128));
           if (rng.percent(50)) {
             m.insert(k, k);

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "check/history.hpp"
+#include "check/linearize.hpp"
 #include "lo/avl.hpp"
 #include "lo/bst.hpp"
 #include "util/random.hpp"
@@ -94,12 +96,16 @@ TYPED_TEST(OrderedApiTest, NextPrevDifferentialVsStdMap) {
       const auto nx = m.next(probe);
       auto it = oracle.upper_bound(probe);
       ASSERT_EQ(nx.has_value(), it != oracle.end()) << probe;
-      if (nx) ASSERT_EQ(nx->first, it->first) << probe;
+      if (nx) {
+        ASSERT_EQ(nx->first, it->first) << probe;
+      }
 
       const auto pv = m.prev(probe);
       auto lo = oracle.lower_bound(probe);
       ASSERT_EQ(pv.has_value(), lo != oracle.begin()) << probe;
-      if (pv) ASSERT_EQ(pv->first, std::prev(lo)->first) << probe;
+      if (pv) {
+        ASSERT_EQ(pv->first, std::prev(lo)->first) << probe;
+      }
     }
   }
 }
@@ -240,6 +246,73 @@ TYPED_TEST(OrderedApiTest, CursorDuringChurnMonotone) {
   }
   stop = true;
   writer.join();
+}
+
+// Succ/pred traversals interleaved with recorded insert/remove churn,
+// validated by the linearizability checker (src/check/): every key a
+// next()/prev() query returns must have been present at some instant
+// inside the query's own interval, so it is recorded as a
+// contains(key)=true observation; the combined history must admit a
+// linearization. This catches a traversal handing out a key that was
+// never live during the query — e.g. read through a stale pointer — which
+// the purely structural assertions above cannot see.
+TYPED_TEST(OrderedApiTest, SuccPredObservationsLinearizable) {
+  TypeParam m;
+  constexpr K kRange = 64;
+  constexpr unsigned kWriters = 3;
+  constexpr unsigned kObservers = 2;
+  constexpr int kWriterOps = 6'000;
+  constexpr int kObserverOps = 4'000;
+  lot::check::HistoryRecorder<K> rec(kWriters + kObservers,
+                                     kWriterOps + kRange + 8);
+
+  // Recorded prefill on writer 0's log: even keys present.
+  for (K k = 0; k < kRange; k += 2) {
+    rec.record(0, lot::check::Op::kInsert, k, [&] { return m.insert(k, k); });
+  }
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(900 + t);
+      for (int i = 0; i < kWriterOps; ++i) {
+        const K k = static_cast<K>(rng.next_below(kRange));
+        if (rng.percent(50)) {
+          rec.record(t, lot::check::Op::kInsert, k,
+                     [&] { return m.insert(k, k); });
+        } else {
+          rec.record(t, lot::check::Op::kRemove, k,
+                     [&] { return m.erase(k); });
+        }
+      }
+    });
+  }
+  for (unsigned o = 0; o < kObservers; ++o) {
+    const auto tid = static_cast<std::uint16_t>(kWriters + o);
+    workers.emplace_back([&, tid] {
+      Xoshiro256 rng(990u + tid);
+      for (int i = 0; i < kObserverOps; ++i) {
+        const K probe = static_cast<K>(rng.next_below(kRange));
+        const bool forward = rng.percent(50);
+        const auto t0 = rec.tick();
+        const auto r = forward ? m.next(probe) : m.prev(probe);
+        const auto t1 = rec.tick();
+        if (r.has_value()) {
+          ASSERT_TRUE(forward ? r->first > probe : r->first < probe);
+          rec.log(tid).push(lot::check::Event<K>{
+              t0, t1, r->first, lot::check::Op::kContains, true, tid});
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+
+  ASSERT_FALSE(rec.overflowed());
+  const auto res = lot::check::check_set_history(rec.merged());
+  EXPECT_TRUE(res.ok()) << res.reason << "\n"
+                        << lot::check::format_history(res.witness);
+  EXPECT_GT(res.stats.events,
+            static_cast<std::size_t>(kWriters) * kWriterOps);
 }
 
 // next() chains must always move strictly forward, even under churn (no
