@@ -80,6 +80,19 @@ void BM_UnguardedWork(benchmark::State& state) {
 }
 BENCHMARK(BM_UnguardedWork);
 
+void BM_StatsSnapshot(benchmark::State& state) {
+  // Health-monitoring hook (DESIGN.md §9): a full pool scan per call, so
+  // this is the cost of polling stats() from a monitoring thread — not a
+  // per-operation cost, but it should stay cheap enough to poll freely.
+  EbrDomain domain;
+  { auto g = domain.guard(); }  // one record in use, as in steady state
+  for (auto _ : state) {
+    auto s = domain.stats();
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_StatsSnapshot);
+
 }  // namespace
 
 BENCHMARK_MAIN();

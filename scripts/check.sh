@@ -6,9 +6,14 @@
 #      and the in-tree *_tsan duplicates);
 #   2. the schedule-perturbed linearizability stress: perturbed histories
 #      from the real trees through the offline checker, plus the
-#      LOT_INJECT_BUG negative control that must be *rejected*;
+#      LOT_INJECT_BUG negative control that must be *rejected*, plus the
+#      LOT_FAULT_INJECT campaign (seeded allocation failures and guard
+#      stalls with per-phase structural validation and leak accounting);
 #   3. the whole-build ThreadSanitizer preset (build-tsan/, iteration
-#      counts scaled down by LOT_STRESS_DIVISOR=20).
+#      counts scaled down by LOT_STRESS_DIVISOR=20);
+#   4. the whole-build AddressSanitizer+LeakSanitizer preset (build-asan/),
+#      so heap misuse and leaks gate alongside the race and
+#      linearizability checks.
 #
 # A non-linearizable history makes the stress tests dump the complete
 # trace + violation witness to $LOT_HISTORY_DUMP; this script pins that
@@ -19,7 +24,7 @@ cd "$(dirname "$0")/.."
 export LOT_HISTORY_DUMP="${LOT_HISTORY_DUMP:-$PWD/history.txt}"
 rm -f "$LOT_HISTORY_DUMP"
 
-STRESS_RE='LoLinearizabilityStress|SeededBug|DriverCapture'
+STRESS_RE='LoLinearizabilityStress|SeededBug|LoFaultStress|DriverCapture'
 
 fail() {
   echo "check.sh: FAILED at stage: $1" >&2
@@ -31,19 +36,24 @@ fail() {
   exit 1
 }
 
-echo "== stage 1/3: tier-1 build + test =="
+echo "== stage 1/4: tier-1 build + test =="
 cmake -B build -S . >/dev/null || fail "configure"
 cmake --build build -j "$(nproc)" >/dev/null || fail "build"
 (cd build && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "tier-1 ctest"
 
-echo "== stage 2/3: schedule-perturbed linearizability stress =="
+echo "== stage 2/4: perturbed linearizability + fault-injection stress =="
 (cd build && ctest --output-on-failure -R "$STRESS_RE") \
   || fail "stress + checker"
 
-echo "== stage 3/3: ThreadSanitizer preset =="
+echo "== stage 3/4: ThreadSanitizer preset =="
 cmake --preset tsan >/dev/null || fail "tsan configure"
 cmake --build --preset tsan -j "$(nproc)" >/dev/null || fail "tsan build"
 ctest --preset tsan || fail "tsan ctest"
+
+echo "== stage 4/4: AddressSanitizer+LeakSanitizer preset =="
+cmake --preset asan >/dev/null || fail "asan configure"
+cmake --build --preset asan -j "$(nproc)" >/dev/null || fail "asan build"
+ctest --preset asan || fail "asan ctest"
 
 echo "check.sh: all stages passed"

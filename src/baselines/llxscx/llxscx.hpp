@@ -13,6 +13,17 @@
 // Records are reference-counted by the nodes whose info pointer holds
 // them and reclaimed through EBR once the count drops to zero (readers
 // may still dereference a displaced record under their guard).
+//
+// Record lifetime: once refs reaches zero it must never rise again — a
+// slow helper that unconditionally incremented the count could resurrect
+// an already-retired record, drive it back to zero, and retire it twice
+// (the heap-use-after-free TSan used to catch under the Chromatic stress
+// tests). Helpers therefore use try_inc_ref, which refuses to revive a
+// released record; a refused helper knows the operation finished long ago
+// and just reads the (now immutable) final state under its EBR guard.
+// Fields a helper reads (v, infos, field, old/new child, finalize) are
+// atomics: written before the record is published by the freeze CAS, read
+// relaxed afterwards.
 #pragma once
 
 #include <atomic>
@@ -31,16 +42,19 @@ struct ScxRecord {
   std::atomic<int> state{kInProgress};
   std::atomic<bool> all_frozen{false};
 
-  NodeT* v[kMaxV] = {nullptr, nullptr, nullptr, nullptr};
-  ScxRecord* infos[kMaxV] = {nullptr, nullptr, nullptr, nullptr};
-  std::size_t v_count = 0;
+  // Helper-read fields. The originator writes them (relaxed) before the
+  // record is published by its first freeze CAS; helpers reach the record
+  // through an acquire load of node->info, so relaxed reads suffice.
+  std::atomic<NodeT*> v[kMaxV] = {};
+  std::atomic<ScxRecord*> infos[kMaxV] = {};
+  std::atomic<std::size_t> v_count{0};
 
-  std::atomic<NodeT*>* field = nullptr;
-  NodeT* old_child = nullptr;
-  NodeT* new_child = nullptr;
+  std::atomic<std::atomic<NodeT*>*> field{nullptr};
+  std::atomic<NodeT*> old_child{nullptr};
+  std::atomic<NodeT*> new_child{nullptr};
 
-  NodeT* finalize[kMaxV] = {nullptr, nullptr, nullptr, nullptr};
-  std::size_t finalize_count = 0;
+  std::atomic<NodeT*> finalize[kMaxV] = {};
+  std::atomic<std::size_t> finalize_count{0};
 
   // Nodes referencing this record through their info pointer, plus one
   // virtual reference held by the in-flight operation until it completes.
@@ -69,9 +83,20 @@ void dec_ref(ScxRecord<NodeT>* rec, reclaim::EbrDomain& domain) {
   }
 }
 
+/// Takes a reference iff the record is still alive (refs > 0). A record
+/// whose count reached zero has been retired; incrementing it again would
+/// resurrect it and eventually retire it a second time (use-after-free).
 template <typename NodeT>
-void inc_ref(ScxRecord<NodeT>* rec) {
-  rec->refs.fetch_add(1, std::memory_order_acq_rel);
+bool try_inc_ref(ScxRecord<NodeT>* rec) {
+  std::int64_t cur = rec->refs.load(std::memory_order_acquire);
+  while (cur > 0) {
+    if (rec->refs.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Result of LLX: the record observed (nullptr on FAIL) plus the snapshot
@@ -115,10 +140,16 @@ template <typename NodeT>
 bool help_scx(ScxRecord<NodeT>* rec, reclaim::EbrDomain& domain) {
   using Rec = ScxRecord<NodeT>;
   // Freeze every node in V by installing `rec` as its info.
-  for (std::size_t i = 0; i < rec->v_count; ++i) {
-    NodeT* node = rec->v[i];
-    ScxRecord<NodeT>* expected = rec->infos[i];
-    inc_ref(rec);  // tentatively account for the node's reference
+  const std::size_t v_count = rec->v_count.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < v_count; ++i) {
+    NodeT* node = rec->v[i].load(std::memory_order_relaxed);
+    ScxRecord<NodeT>* expected = rec->infos[i].load(std::memory_order_relaxed);
+    if (!try_inc_ref(rec)) {
+      // Every reference is gone: the operation finished long ago and the
+      // record was retired (our EBR guard keeps the memory readable). Its
+      // final state is immutable now — report it without touching refs.
+      return rec->state.load(std::memory_order_acquire) == Rec::kCommitted;
+    }
     if (!node->info.compare_exchange_strong(expected, rec,
                                             std::memory_order_acq_rel)) {
       dec_ref(rec, domain);  // CAS lost: take the tentative count back
@@ -139,12 +170,17 @@ bool help_scx(ScxRecord<NodeT>* rec, reclaim::EbrDomain& domain) {
     dec_ref(expected, domain);
   }
   rec->all_frozen.store(true, std::memory_order_release);
-  for (std::size_t i = 0; i < rec->finalize_count; ++i) {
-    rec->finalize[i]->finalized.store(true, std::memory_order_release);
+  const std::size_t finalize_count =
+      rec->finalize_count.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < finalize_count; ++i) {
+    rec->finalize[i].load(std::memory_order_relaxed)
+        ->finalized.store(true, std::memory_order_release);
   }
-  NodeT* expected_child = rec->old_child;
-  rec->field->compare_exchange_strong(expected_child, rec->new_child,
-                                      std::memory_order_acq_rel);
+  NodeT* expected_child = rec->old_child.load(std::memory_order_relaxed);
+  rec->field.load(std::memory_order_relaxed)
+      ->compare_exchange_strong(expected_child,
+                                rec->new_child.load(std::memory_order_relaxed),
+                                std::memory_order_acq_rel);
   rec->state.store(Rec::kCommitted, std::memory_order_release);
   return true;
 }
@@ -159,18 +195,18 @@ bool scx(NodeT* const* v, ScxRecord<NodeT>* const* infos, std::size_t v_count,
          reclaim::EbrDomain& domain) {
   using Rec = ScxRecord<NodeT>;
   Rec* rec = reclaim::make_counted<Rec>();
-  rec->v_count = v_count;
+  rec->v_count.store(v_count, std::memory_order_relaxed);
   for (std::size_t i = 0; i < v_count; ++i) {
-    rec->v[i] = v[i];
-    rec->infos[i] = infos[i];
+    rec->v[i].store(v[i], std::memory_order_relaxed);
+    rec->infos[i].store(infos[i], std::memory_order_relaxed);
   }
-  rec->finalize_count = finalize_count;
+  rec->finalize_count.store(finalize_count, std::memory_order_relaxed);
   for (std::size_t i = 0; i < finalize_count; ++i) {
-    rec->finalize[i] = finalize[i];
+    rec->finalize[i].store(finalize[i], std::memory_order_relaxed);
   }
-  rec->field = field;
-  rec->old_child = old_child;
-  rec->new_child = new_child;
+  rec->field.store(field, std::memory_order_relaxed);
+  rec->old_child.store(old_child, std::memory_order_relaxed);
+  rec->new_child.store(new_child, std::memory_order_relaxed);
   const bool committed = help_scx(rec, domain);
   dec_ref(rec, domain);  // drop the operation's own reference
   return committed;

@@ -1,0 +1,168 @@
+// Named fault-injection points: deterministic, seeded injectors for
+// allocation failure and artificial guard stalls.
+//
+// The schedule perturbation in check/perturb.hpp widens the algorithm's
+// *race* windows; this layer attacks its *resource* windows instead: what
+// happens when the allocator refuses mid-insert, and what happens when a
+// thread parks while pinning a reclamation epoch. Both are environmental
+// failures a production deployment will eventually produce (memory
+// pressure, preemption, debugger stops, page faults on cold NUMA nodes),
+// and both are exactly where a GC'd reference implementation gets its
+// robustness for free while our C++ substitution must earn it.
+//
+// Idiom mirrors perturb.hpp: every site is a named enumerator, the hooks
+// are empty inline functions unless the translation unit defines
+// LOT_FAULT_INJECT, and instrumented binaries are separate build targets
+// (tests/stress/) rather than a runtime switch, so the production hot path
+// carries no injection code at all.
+//
+// Determinism: draws come from a per-thread xorshift64* stream seeded from
+// the campaign seed (set_seed) and a per-thread registration counter, with
+// the site index mixed into every draw — the same seed, thread count, and
+// operation sequence replays the same injection decisions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(LOT_FAULT_INJECT)
+#include <atomic>
+#include <chrono>
+#include <new>
+#include <thread>
+#endif
+
+namespace lot::inject {
+
+enum class Site : std::uint8_t {
+  kLoInsertAlloc = 0,   // lo::LoMap::insert node allocation (pre-lock)
+  kPartialInsertAlloc,  // lo::PartialMap::insert node allocation (pre-lock)
+  kGuardStallReader,    // reader parks while pinning an epoch (contains/get)
+  kGuardStallWriter,    // writer parks while pinning an epoch (insert/erase)
+  kCount
+};
+
+inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount);
+
+inline const char* site_name(Site s) {
+  switch (s) {
+    case Site::kLoInsertAlloc: return "lo-insert-alloc";
+    case Site::kPartialInsertAlloc: return "partial-insert-alloc";
+    case Site::kGuardStallReader: return "guard-stall-reader";
+    case Site::kGuardStallWriter: return "guard-stall-writer";
+    default: return "?";
+  }
+}
+
+#if defined(LOT_FAULT_INJECT)
+
+inline constexpr bool kFaultInject = true;
+
+struct InjectState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> seed{1};
+  std::atomic<std::uint32_t> stall_max_us{200};
+  std::atomic<std::uint32_t> fire_permille[kSiteCount] = {};
+  std::atomic<std::uint64_t> fires[kSiteCount] = {};
+  std::atomic<std::uint64_t> thread_counter{0};
+};
+
+inline InjectState& inject_state() {
+  static InjectState state;
+  return state;
+}
+
+inline void set_seed(std::uint64_t seed) {
+  inject_state().seed.store(seed | 1, std::memory_order_relaxed);
+}
+
+inline void set_site_rate(Site s, std::uint32_t fire_permille) {
+  inject_state().fire_permille[static_cast<std::size_t>(s)].store(
+      fire_permille, std::memory_order_relaxed);
+}
+
+inline void set_stall_max_us(std::uint32_t us) {
+  inject_state().stall_max_us.store(us, std::memory_order_relaxed);
+}
+
+inline void enable_injection(bool on) {
+  inject_state().enabled.store(on, std::memory_order_relaxed);
+}
+
+inline std::uint64_t fires(Site s) {
+  return inject_state().fires[static_cast<std::size_t>(s)].load(
+      std::memory_order_relaxed);
+}
+
+inline void reset_fire_counts() {
+  for (auto& f : inject_state().fires) f.store(0, std::memory_order_relaxed);
+}
+
+/// One seeded draw for `site`; true iff the injector fires. Threads get
+/// independent deterministic streams: the first draw lazily seeds the
+/// thread's rng from the campaign seed and its registration index.
+inline bool should_fire(Site site) {
+  auto& st = inject_state();
+  if (!st.enabled.load(std::memory_order_relaxed)) return false;
+  const std::uint32_t permille =
+      st.fire_permille[static_cast<std::size_t>(site)].load(
+          std::memory_order_relaxed);
+  if (permille == 0) return false;
+  thread_local std::uint64_t rng = [&st] {
+    // splitmix64 of (seed, thread index) — a well-mixed per-thread stream.
+    std::uint64_t z = st.seed.load(std::memory_order_relaxed) +
+                      0x9E3779B97F4A7C15ULL *
+                          (st.thread_counter.fetch_add(
+                               1, std::memory_order_relaxed) +
+                           1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return (z ^ (z >> 31)) | 1;
+  }();
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  const std::uint64_t draw =
+      (rng + static_cast<std::uint64_t>(site) * 0x9E3779B97F4A7C15ULL) *
+      0x2545F4914F6CDD1DULL;
+  if (draw % 1000 >= permille) return false;
+  st.fires[static_cast<std::size_t>(site)].fetch_add(
+      1, std::memory_order_relaxed);
+  return true;
+}
+
+/// Allocation-failure site: throws std::bad_alloc when the injector fires.
+/// Call sites place this where a real allocator failure could surface, and
+/// *before* the allocation itself so counters (AllocStats) stay balanced.
+inline void throw_if_alloc_fault(Site site) {
+  if (should_fire(site)) throw std::bad_alloc();
+}
+
+/// Guard-stall site: parks the calling thread for a seeded duration of up
+/// to stall_max_us while the caller holds its EBR guard, pinning that
+/// epoch — the adversarial schedule the reclamation watchdog and the
+/// backlog backpressure exist to survive.
+inline void stall_point(Site site) {
+  if (!should_fire(site)) return;
+  const std::uint32_t cap =
+      inject_state().stall_max_us.load(std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::microseconds(cap ? cap : 1));
+}
+
+#else  // !LOT_FAULT_INJECT — every hook compiles away.
+
+inline constexpr bool kFaultInject = false;
+
+inline void set_seed(std::uint64_t) {}
+inline void set_site_rate(Site, std::uint32_t) {}
+inline void set_stall_max_us(std::uint32_t) {}
+inline void enable_injection(bool) {}
+inline std::uint64_t fires(Site) { return 0; }
+inline void reset_fire_counts() {}
+inline bool should_fire(Site) { return false; }
+inline void throw_if_alloc_fault(Site) {}
+inline void stall_point(Site) {}
+
+#endif  // LOT_FAULT_INJECT
+
+}  // namespace lot::inject

@@ -39,7 +39,16 @@
 // LOT_INJECT_BUG (negative control for the linearizability checker) breaks
 // locate() into a tree-only lookup — exactly the naive design the logical
 // ordering exists to fix — so perturbed runs yield non-linearizable
-// histories the checker must reject.
+// histories the checker must reject. Fault injection (inject/inject.hpp,
+// LOT_FAULT_INJECT) attacks the resource windows instead: seeded bad_alloc
+// at the insert allocation site and seeded guard stalls in readers and
+// writers.
+//
+// Failure model (DESIGN.md §9): insert offers the strong exception
+// guarantee under allocation failure. The node is allocated *before* any
+// lock is taken, so a bad_alloc propagates with no locks held, no node
+// half-linked, and the map unchanged; erase allocates nothing on its own
+// and can only fail inside EbrDomain::retire, which is itself OOM-safe.
 #pragma once
 
 #include <cstddef>
@@ -49,6 +58,7 @@
 #include <utility>
 
 #include "check/perturb.hpp"
+#include "inject/inject.hpp"
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
 #include "lo/rebalance.hpp"
@@ -101,6 +111,7 @@ class LoMap {
   /// Lock-free membership test (Algorithm 2).
   bool contains(const K& k) const {
     auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallReader);
     const NodeT* node = locate(k);
     return cmp(node, k) == 0 && !node->mark.load(std::memory_order_acquire);
   }
@@ -108,6 +119,7 @@ class LoMap {
   /// Lock-free lookup; empty if the key is absent.
   std::optional<V> get(const K& k) const {
     auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallReader);
     const NodeT* node = locate(k);
     if (cmp(node, k) == 0 && !node->mark.load(std::memory_order_acquire)) {
       return node->value;
@@ -258,8 +270,16 @@ class LoMap {
   // -------------------------------------------------------------- updates
 
   /// Insert-if-absent (Algorithm 3). Returns false if the key is present.
+  ///
+  /// Allocation failure (std::bad_alloc) offers the strong guarantee: the
+  /// node is allocated here, before any lock acquisition or retry, so a
+  /// throw leaves the map untouched with no locks held. The node is freed
+  /// again if the key turns out to be present.
   bool insert(const K& k, const V& v) {
     auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallWriter);
+    inject::throw_if_alloc_fault(inject::Site::kLoInsertAlloc);
+    NodeT* nn = reclaim::make_counted<NodeT>(k, v);
     for (;;) {
       NodeT* node = search(k);
       NodeT* p = cmp(node, k) >= 0
@@ -271,9 +291,9 @@ class LoMap {
           !p->mark.load(std::memory_order_acquire)) {
         if (cmp(s, k) == 0) {
           p->succ_lock.unlock();
+          reclaim::delete_counted(nn);  // never published
           return false;  // unsuccessful insert
         }
-        NodeT* nn = reclaim::make_counted<NodeT>(k, v);
         NodeT* parent = choose_parent(p, s, node);
         nn->succ.store(s, std::memory_order_relaxed);
         nn->pred.store(p, std::memory_order_relaxed);
@@ -301,8 +321,11 @@ class LoMap {
   }
 
   /// Remove-if-present (Algorithm 7) with on-time physical deletion.
+  /// Allocates no node of its own; the only allocation is the retire-list
+  /// bookkeeping inside EbrDomain::retire, which is OOM-safe (DESIGN.md §9).
   bool erase(const K& k) {
     auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallWriter);
     for (;;) {
       NodeT* node = search(k);
       NodeT* p = cmp(node, k) >= 0

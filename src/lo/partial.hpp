@@ -21,6 +21,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "inject/inject.hpp"
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
 #include "lo/rebalance.hpp"
@@ -97,12 +98,14 @@ class PartialMap {
 
   bool contains(const K& k) const {
     auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallReader);
     const NodeT* node = locate(k);
     return cmp(node, k) == 0 && is_present(node);
   }
 
   std::optional<V> get(const K& k) const {
     auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallReader);
     const NodeT* node = locate(k);
     if (cmp(node, k) != 0) return std::nullopt;
     // Read the value before re-checking presence so a racing revive
@@ -215,8 +218,16 @@ class PartialMap {
 
   // -------------------------------------------------------------- updates
 
+  /// Strong exception guarantee under allocation failure, like
+  /// LoMap::insert, but with lazy allocation so the revive path keeps its
+  /// allocation-free property (the point of this variant, ablation A2):
+  /// the node is allocated only once the key is observed absent, and
+  /// always with the interval lock dropped — the validation then restarts,
+  /// so a bad_alloc propagates with no locks held and the map untouched.
   bool insert(const K& k, const V& v) {
     auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallWriter);
+    NodeT* nn = nullptr;
     for (;;) {
       NodeT* node = search(k);
       NodeT* p = cmp(node, k) >= 0
@@ -230,14 +241,23 @@ class PartialMap {
           // Physically present. Revive if it was logically deleted.
           if (!s->deleted.load(std::memory_order_acquire)) {
             p->succ_lock.unlock();
+            reclaim::delete_counted(nn);  // from a lost race, if any
             return false;
           }
           s->value.store(v, std::memory_order_relaxed);
           s->deleted.store(false, std::memory_order_release);
           p->succ_lock.unlock();
+          reclaim::delete_counted(nn);  // revived in place instead
           return true;
         }
-        NodeT* nn = reclaim::make_counted<NodeT>(k, v);
+        if (nn == nullptr) {
+          // Key absent, so a node is needed — but never allocate while
+          // holding the interval lock. Drop it, allocate, revalidate.
+          p->succ_lock.unlock();
+          inject::throw_if_alloc_fault(inject::Site::kPartialInsertAlloc);
+          nn = reclaim::make_counted<NodeT>(k, v);
+          continue;
+        }
         NodeT* parent = choose_parent(p, s, node);
         nn->succ.store(s, std::memory_order_relaxed);
         nn->pred.store(p, std::memory_order_relaxed);
@@ -257,6 +277,7 @@ class PartialMap {
 
   bool erase(const K& k) {
     auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallWriter);
     for (;;) {
       NodeT* node = search(k);
       NodeT* p = cmp(node, k) >= 0

@@ -32,10 +32,13 @@ struct AllocStats {
 
 /// Counted allocation used for all tree nodes so experiments can observe
 /// live-node counts without instrumenting every implementation separately.
+/// The count moves only after `new` succeeds: a throwing allocation must
+/// leave the counters balanced or every OOM would fake a leak.
 template <typename T, typename... Args>
 T* make_counted(Args&&... args) {
+  T* p = new T(std::forward<Args>(args)...);
   AllocStats::allocated().fetch_add(1, std::memory_order_relaxed);
-  return new T(std::forward<Args>(args)...);
+  return p;
 }
 
 template <typename T>

@@ -1,7 +1,9 @@
 #include "reclaim/ebr.hpp"
 
 #include <cassert>
+#include <functional>
 #include <mutex>
+#include <thread>
 #include <unordered_set>
 
 namespace lot::reclaim {
@@ -20,9 +22,20 @@ std::unordered_set<EbrDomain*>& live_domains() {
   return s;
 }
 
+// Serializes record-pool growth (rare: once per kMaxThreads of peak
+// oversubscription). Shared across domains; growth is far off any hot path.
+std::mutex& grow_mutex() {
+  static std::mutex m;
+  return m;
+}
+
 std::uint64_t next_domain_uid() {
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t this_thread_hash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
 }  // namespace
@@ -89,11 +102,17 @@ EbrDomain::~EbrDomain() {
     live_domains().erase(this);
   }
   // By contract no guards are active at destruction; everything retired is
-  // now safe to free.
-  for (auto& rec : records_) {
-    assert(rec.pinned_epoch.load(std::memory_order_relaxed) == 0);
-    for (auto& r : rec.retired) r.deleter(r.ptr);
-    rec.retired.clear();
+  // now safe to free. Overflow chunks go with the domain.
+  RecordChunk* chunk = &head_chunk_;
+  while (chunk != nullptr) {
+    for (auto& rec : chunk->records) {
+      assert(rec.pinned_epoch.load(std::memory_order_relaxed) == 0);
+      for (auto& r : rec.retired) r.deleter(r.ptr);
+      rec.retired.clear();
+    }
+    RecordChunk* next = chunk->next.load(std::memory_order_relaxed);
+    if (chunk != &head_chunk_) delete chunk;
+    chunk = next;
   }
 }
 
@@ -105,25 +124,41 @@ EbrDomain& EbrDomain::global_domain() {
 EbrDomain::Record* EbrDomain::acquire_record() {
   auto*& cached = tls_cache().slot_for(this, uid_);
   if (cached != nullptr) return cached;
-  for (auto& rec : records_) {
-    bool expected = false;
-    if (!rec.in_use.load(std::memory_order_relaxed) &&
-        rec.in_use.compare_exchange_strong(expected, true,
-                                           std::memory_order_acq_rel)) {
-      cached = &rec;
-      return cached;
+  const std::uint64_t owner = this_thread_hash();
+  for (;;) {
+    RecordChunk* last = &head_chunk_;
+    for (RecordChunk* c = &head_chunk_; c != nullptr;
+         c = c->next.load(std::memory_order_seq_cst)) {
+      last = c;
+      for (auto& rec : c->records) {
+        bool expected = false;
+        if (!rec.in_use.load(std::memory_order_relaxed) &&
+            rec.in_use.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+          rec.owner.store(owner, std::memory_order_relaxed);
+          cached = &rec;
+          return cached;
+        }
+      }
+    }
+    // More simultaneous threads than the pool holds: grow by one chunk
+    // rather than failing. Double-checked under the mutex — a racing
+    // grower may have appended already, in which case just rescan. A
+    // bad_alloc here propagates with no domain state changed (the caller's
+    // operation has touched nothing yet).
+    std::lock_guard<std::mutex> lock(grow_mutex());
+    if (last->next.load(std::memory_order_seq_cst) == nullptr) {
+      RecordChunk* fresh = new RecordChunk;
+      last->next.store(fresh, std::memory_order_seq_cst);
+      pool_growths_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  // More simultaneous threads than kMaxThreads. Fail loudly: silently
-  // sharing a record would corrupt guard accounting.
-  assert(false && "EbrDomain: out of thread records");
-  std::abort();
 }
 
 void EbrDomain::release_record_of_exiting_thread(Record* rec) {
   // Called with the registry mutex held, from the exiting thread's TLS
-  // destructor. The retired list stays with the record; the next owner (or
-  // flush / the domain destructor) frees it when eligible.
+  // destructor. The retired list stays with the record; the next owner,
+  // flush()'s steal path, or the domain destructor frees it when eligible.
   rec->guard_depth = 0;
   rec->pinned_epoch.store(0, std::memory_order_release);
   rec->in_use.store(false, std::memory_order_release);
@@ -149,25 +184,95 @@ void EbrDomain::pin(Record& rec) {
 
 void EbrDomain::unpin(Record& rec) {
   rec.pinned_epoch.store(0, std::memory_order_release);
+  // End of any watchdog episode this record was accumulating; the load is
+  // on a line this thread owns, so the common no-stall case stays cheap.
+  if (rec.stall_strikes.load(std::memory_order_relaxed) != 0) {
+    rec.stall_strikes.store(0, std::memory_order_relaxed);
+    rec.stall_epoch_seen.store(0, std::memory_order_relaxed);
+    rec.stall_reported.store(false, std::memory_order_relaxed);
+  }
 }
 
 void EbrDomain::retire_raw(void* p, void (*deleter)(void*)) {
   Record* rec = acquire_record();
-  rec->retired.push_back(
-      {p, deleter, global_epoch_.load(std::memory_order_acquire)});
-  if (++rec->since_last_scan >= retire_threshold_) {
+  lock_list(*rec);
+  const bool pushed = push_retired(
+      *rec, {p, deleter, global_epoch_.load(std::memory_order_acquire)});
+  unlock_list(*rec);
+  if (!pushed) {
+    return;  // emergency leak, counted; nothing more we can safely do
+  }
+  if (rec->retired_count.load(std::memory_order_relaxed) >=
+      backlog_high_water_.load(std::memory_order_relaxed)) {
+    // Backpressure: past the high-water mark every retire pays for a full
+    // reclamation attempt. Two advances move this record's whole backlog
+    // out of the danger window when nothing is pinned; a straggler stops
+    // the loop early (and accrues a watchdog strike inside try_advance).
+    backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < 2; ++i) {
+      if (!try_advance()) break;
+    }
+    if (global_epoch_.load(std::memory_order_acquire) !=
+        rec->last_scan_epoch.load(std::memory_order_relaxed)) {
+      free_eligible(*rec);
+    }
+    rec->since_last_scan = 0;
+  } else if (++rec->since_last_scan >=
+             retire_threshold_.load(std::memory_order_relaxed)) {
     rec->since_last_scan = 0;
     try_advance();
-    free_eligible(*rec);
+    if (global_epoch_.load(std::memory_order_acquire) !=
+        rec->last_scan_epoch.load(std::memory_order_relaxed)) {
+      free_eligible(*rec);
+    }
   }
+}
+
+bool EbrDomain::push_retired(Record& rec, const Retired& r) {
+  if (rec.retired.size() == rec.retired.capacity()) {
+    // Growth imminent and growth can fail. On bad_alloc, free eligible
+    // entries in place (rewrites the vector without allocating) and retry
+    // within the existing capacity.
+    try {
+      rec.retired.push_back(r);
+      rec.retired_count.store(rec.retired.size(), std::memory_order_relaxed);
+      return true;
+    } catch (const std::bad_alloc&) {
+      try_advance();
+      try_advance();
+      free_eligible_locked(rec);
+      if (rec.retired.size() < rec.retired.capacity()) {
+        rec.retired.push_back(r);
+        rec.retired_count.store(rec.retired.size(),
+                                std::memory_order_relaxed);
+        return true;
+      }
+      // Fully pinned *and* out of memory: deliberately leak this one
+      // object. Freeing it could be a use-after-free (guards may hold
+      // it); blocking could deadlock against the pinned straggler.
+      emergency_leaks_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  rec.retired.push_back(r);
+  rec.retired_count.store(rec.retired.size(), std::memory_order_relaxed);
+  return true;
 }
 
 bool EbrDomain::try_advance() {
   const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
-  for (const auto& rec : records_) {
-    const std::uint64_t pinned =
-        rec.pinned_epoch.load(std::memory_order_seq_cst);
-    if (pinned != 0 && pinned < e) return false;  // straggler in old epoch
+  std::size_t index = 0;
+  for (RecordChunk* c = &head_chunk_; c != nullptr;
+       c = c->next.load(std::memory_order_seq_cst)) {
+    for (auto& rec : c->records) {
+      const std::uint64_t pinned =
+          rec.pinned_epoch.load(std::memory_order_seq_cst);
+      if (pinned != 0 && pinned < e) {
+        note_stall(rec, index, pinned);  // straggler in an old epoch
+        return false;
+      }
+      ++index;
+    }
   }
   std::uint64_t expected = e;
   global_epoch_.compare_exchange_strong(expected, e + 1,
@@ -175,12 +280,43 @@ bool EbrDomain::try_advance() {
   return true;  // someone advanced (us or a racing thread)
 }
 
+void EbrDomain::note_stall(Record& rec, std::size_t index,
+                           std::uint64_t pinned) {
+  if (rec.stall_epoch_seen.load(std::memory_order_relaxed) != pinned) {
+    // New episode (or the straggler finally moved): restart the count.
+    rec.stall_epoch_seen.store(pinned, std::memory_order_relaxed);
+    rec.stall_strikes.store(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint32_t strikes =
+      rec.stall_strikes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (strikes >= stall_strike_limit_.load(std::memory_order_relaxed) &&
+      !rec.stall_reported.exchange(true, std::memory_order_relaxed)) {
+    stall_fires_.fetch_add(1, std::memory_order_relaxed);
+    stalled_record_.store(index, std::memory_order_relaxed);
+    stalled_epoch_.store(pinned, std::memory_order_relaxed);
+    stalled_owner_.store(rec.owner.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+}
+
 void EbrDomain::free_eligible(Record& rec) {
+  lock_list(rec);
+  free_eligible_locked(rec);
+  unlock_list(rec);
+}
+
+void EbrDomain::free_eligible_locked(Record& rec) {
   // Safe to free anything retired at least two epochs ago: every guard
   // active at (or before) the retire epoch has ended, and no newer guard
-  // can reach an object that was unlinked before retirement.
+  // can reach an object that was unlinked before retirement. Deleters run
+  // under the list lock, so they must not retire into the same domain —
+  // they never do here (node destructors don't retire), and even the
+  // unlocked seed code relied on that (a reentrant retire would have
+  // mutated the vector mid-scan).
   const std::uint64_t safe_before =
       global_epoch_.load(std::memory_order_acquire);
+  rec.last_scan_epoch.store(safe_before, std::memory_order_relaxed);
   if (safe_before < 3) return;
   auto& list = rec.retired;
   std::size_t kept = 0;
@@ -192,6 +328,7 @@ void EbrDomain::free_eligible(Record& rec) {
     }
   }
   list.resize(kept);
+  rec.retired_count.store(kept, std::memory_order_relaxed);
 }
 
 void EbrDomain::flush() {
@@ -199,19 +336,93 @@ void EbrDomain::flush() {
   // window (when no guards are pinned; otherwise we free what we can).
   try_advance();
   try_advance();
-  for (auto& rec : records_) {
-    // Only touch lists of records not owned by a running thread, plus our
-    // own. Concurrent mutation of someone else's vector would race; flush
-    // is specified for quiescent use, so in practice all records are
-    // either ours or idle.
-    free_eligible(rec);
-  }
+  Record* mine = acquire_record();
+  for_each_record([&](Record& rec, std::size_t) {
+    if (&rec == mine) return;
+    // Claim records whose owner threads have exited so their leftover
+    // backlog can be stolen; records of running threads are swept only if
+    // their list lock is free (a busy owner will reclaim through its own
+    // retire cycles — never block it, never race it).
+    bool expected = false;
+    if (rec.in_use.load(std::memory_order_relaxed) ||
+        !rec.in_use.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      if (try_lock_list(rec)) {
+        free_eligible_locked(rec);
+        unlock_list(rec);
+      }
+      return;
+    }
+    // Claimed an ownerless record. Free what's eligible, then steal the
+    // remainder into the caller's record: it drains through the caller's
+    // ordinary retire cycles instead of waiting for this slot to be
+    // reacquired. The swap-through-a-temporary keeps us from ever holding
+    // two list locks at once (lock-order cycles between concurrent
+    // flushers), and swap itself cannot throw.
+    lock_list(rec);
+    free_eligible_locked(rec);
+    std::vector<Retired> stolen;
+    stolen.swap(rec.retired);
+    rec.retired_count.store(0, std::memory_order_relaxed);
+    unlock_list(rec);
+    if (!stolen.empty()) {
+      lock_list(*mine);
+      try {
+        mine->retired.insert(mine->retired.end(), stolen.begin(),
+                             stolen.end());
+        mine->retired_count.store(mine->retired.size(),
+                                  std::memory_order_relaxed);
+        mine->last_scan_epoch.store(0, std::memory_order_relaxed);
+        backlog_steals_.fetch_add(stolen.size(), std::memory_order_relaxed);
+        stolen.clear();
+      } catch (const std::bad_alloc&) {
+        // No room to adopt it; hand the list back to the idle slot below.
+      }
+      unlock_list(*mine);
+      if (!stolen.empty()) {
+        lock_list(rec);
+        rec.retired.swap(stolen);
+        rec.retired_count.store(rec.retired.size(),
+                                std::memory_order_relaxed);
+        rec.last_scan_epoch.store(0, std::memory_order_relaxed);
+        unlock_list(rec);
+      }
+    }
+    rec.since_last_scan = 0;
+    rec.in_use.store(false, std::memory_order_release);
+  });
+  free_eligible(*mine);
 }
 
 std::size_t EbrDomain::pending_retired() const {
   std::size_t n = 0;
-  for (const auto& rec : records_) n += rec.retired.size();
+  for_each_record([&n](const Record& rec, std::size_t) {
+    n += rec.retired_count.load(std::memory_order_relaxed);
+  });
   return n;
+}
+
+EbrDomain::Stats EbrDomain::stats() const {
+  Stats s;
+  s.epoch = global_epoch_.load(std::memory_order_acquire);
+  for_each_record([&s](const Record& rec, std::size_t) {
+    ++s.record_capacity;
+    s.pending_retired += rec.retired_count.load(std::memory_order_relaxed);
+    if (rec.in_use.load(std::memory_order_relaxed)) ++s.records_in_use;
+    if (rec.stall_reported.load(std::memory_order_relaxed) &&
+        rec.pinned_epoch.load(std::memory_order_relaxed) != 0) {
+      s.stalled_now = true;
+    }
+  });
+  s.pool_growths = pool_growths_.load(std::memory_order_relaxed);
+  s.backpressure_hits = backpressure_hits_.load(std::memory_order_relaxed);
+  s.backlog_steals = backlog_steals_.load(std::memory_order_relaxed);
+  s.emergency_leaks = emergency_leaks_.load(std::memory_order_relaxed);
+  s.stall_watchdog_fires = stall_fires_.load(std::memory_order_relaxed);
+  s.stalled_record = stalled_record_.load(std::memory_order_relaxed);
+  s.stalled_epoch = stalled_epoch_.load(std::memory_order_relaxed);
+  s.stalled_owner = stalled_owner_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace lot::reclaim

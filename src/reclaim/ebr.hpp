@@ -12,10 +12,30 @@
 //    once the global epoch has advanced twice past its retirement epoch,
 //    which implies every guard that could have seen the node has ended.
 //
-// The domain owns a fixed pool of per-thread records. A thread lazily
-// acquires a record on first use and caches it in a thread-local table;
-// the record (and any not-yet-freed retired objects in it) returns to the
-// pool when the thread exits, so no memory is orphaned.
+// The domain owns a pool of per-thread records, organised as a chain of
+// fixed-size chunks that grows on demand — oversubscription past the
+// initial kMaxThreads slots allocates another chunk instead of aborting.
+// A thread lazily acquires a record on first use and caches it in a
+// thread-local table; the record (and any not-yet-freed retired objects in
+// it) returns to the pool when the thread exits, so no memory is orphaned.
+//
+// Hardening (DESIGN.md §9 failure model):
+//  * stall watchdog — a record pinned at the same epoch across
+//    stall_strike_limit failed advance attempts (i.e. across that many
+//    retire cycles) is flagged, with owner diagnostics surfaced through
+//    stats(); the flag clears when the straggler unpins.
+//  * backlog backpressure — a retire that finds its record's list beyond
+//    backlog_high_water forces advance+free regardless of the scan
+//    threshold, so a drained stall collapses the backlog promptly and a
+//    healthy domain can never accumulate more than one high-water mark of
+//    garbage per thread.
+//  * quiescent steal — flush() adopts the retired lists of records whose
+//    owner threads have exited, so their backlog drains through the
+//    caller's normal retire cycles instead of waiting for reacquisition.
+//  * OOM-safe bookkeeping — if growing a retire list throws bad_alloc the
+//    domain frees eligible entries in place to make room and, in the
+//    degenerate fully-pinned-and-OOM case, deliberately leaks the one
+//    object (counted in stats) rather than risk use-after-free.
 #pragma once
 
 #include <atomic>
@@ -30,8 +50,16 @@ namespace lot::reclaim {
 
 class EbrDomain {
  public:
+  /// Record slots per pool chunk (and the initial pool capacity). More
+  /// simultaneous threads than this grow the pool instead of failing.
   static constexpr std::size_t kMaxThreads = 64;
   static constexpr std::size_t kDefaultRetireThreshold = 128;
+  /// Per-record retired-list length beyond which every retire forces an
+  /// advance+free attempt (backpressure), bypassing the scan threshold.
+  static constexpr std::size_t kDefaultBacklogHighWater = 4096;
+  /// Failed advance attempts against the same pinned epoch before the
+  /// stall watchdog flags the record.
+  static constexpr std::uint32_t kDefaultStallStrikeLimit = 64;
 
   EbrDomain();
   ~EbrDomain();
@@ -45,7 +73,9 @@ class EbrDomain {
   class Guard;
 
   /// RAII epoch pin. Re-entrant: nested guards on the same thread are
-  /// cheap (a depth increment).
+  /// cheap (a depth increment). A thread's first guard on a domain may
+  /// throw std::bad_alloc if the record pool must grow and the allocator
+  /// refuses; no domain state changes in that case.
   Guard guard();
 
   /// Defers `delete_counted(p)` until no guard can reference `p`.
@@ -62,7 +92,9 @@ class EbrDomain {
 
   /// Attempts to advance the epoch and free everything eligible, from every
   /// record. Call at quiescence (no active guards) to reach a clean state;
-  /// with active guards it frees what it safely can.
+  /// with active guards it frees what it safely can. Retired lists left
+  /// behind by exited threads are stolen into the caller's record so they
+  /// keep draining through normal retire cycles.
   void flush();
 
   /// Number of retired-but-not-yet-freed objects (approximate under
@@ -71,11 +103,45 @@ class EbrDomain {
 
   /// Lower threshold = more frequent reclamation attempts. Exposed for the
   /// failure-injection tests which force reclamation on every retire.
-  void set_retire_threshold(std::size_t n) { retire_threshold_ = n; }
+  void set_retire_threshold(std::size_t n) {
+    retire_threshold_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Backpressure knob: per-record backlog length beyond which every
+  /// retire forces an advance+free attempt.
+  void set_backlog_high_water(std::size_t n) {
+    backlog_high_water_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Watchdog knob: failed advances against one pinned epoch before the
+  /// record is reported stalled.
+  void set_stall_strike_limit(std::uint32_t n) {
+    stall_strike_limit_.store(n, std::memory_order_relaxed);
+  }
 
   std::uint64_t epoch() const {
     return global_epoch_.load(std::memory_order_acquire);
   }
+
+  /// Point-in-time snapshot of the domain's health counters. Counters are
+  /// monotonic; the stalled_* diagnostics describe the most recent
+  /// watchdog episode (stalled_now says whether it is still in progress).
+  struct Stats {
+    std::uint64_t epoch = 0;
+    std::size_t pending_retired = 0;
+    std::size_t records_in_use = 0;
+    std::size_t record_capacity = 0;
+    std::uint64_t pool_growths = 0;       // extra chunks allocated
+    std::uint64_t backpressure_hits = 0;  // forced advance+free retires
+    std::uint64_t backlog_steals = 0;     // entries adopted by flush()
+    std::uint64_t emergency_leaks = 0;    // OOM'd retire bookkeeping
+    std::uint64_t stall_watchdog_fires = 0;
+    bool stalled_now = false;
+    std::size_t stalled_record = static_cast<std::size_t>(-1);
+    std::uint64_t stalled_epoch = 0;  // the epoch the straggler pins
+    std::uint64_t stalled_owner = 0;  // hashed owner thread id
+  };
+  Stats stats() const;
 
  private:
   struct Retired {
@@ -88,21 +154,95 @@ class EbrDomain {
     std::atomic<std::uint64_t> pinned_epoch{0};  // 0 = not pinned
     std::atomic<bool> in_use{false};
     unsigned guard_depth = 0;        // owner thread only
-    std::vector<Retired> retired;    // owner thread, or domain at flush
+    // `retired` is mutated by the owning thread and swept by flush();
+    // list_lock arbitrates between them (uncontended on the owner's fast
+    // path — flush only try-locks records with a live owner). retired_count
+    // mirrors retired.size() so monitoring reads (stats, pending_retired,
+    // the backpressure check) never touch the vector itself.
+    std::atomic_flag list_lock = ATOMIC_FLAG_INIT;
+    std::atomic<std::size_t> retired_count{0};
+    std::vector<Retired> retired;
     std::size_t since_last_scan = 0; // owner thread only
+    // Epoch free_eligible last scanned this list at. A rescan at the same
+    // epoch is provably a no-op (entries pushed since carry the current
+    // epoch, never ≤ epoch-2), so the retire paths skip it — without this
+    // the backpressure path degrades to an O(backlog) scan per retire
+    // while a straggler holds the epoch still. Zeroed when flush() steals
+    // into (or hands back) a list, since spliced entries carry old epochs.
+    std::atomic<std::uint64_t> last_scan_epoch{0};
+    // Watchdog state: how many failed advances observed this record pinned
+    // at stall_epoch_seen, and whether that episode was already reported.
+    std::atomic<std::uint64_t> stall_epoch_seen{0};
+    std::atomic<std::uint32_t> stall_strikes{0};
+    std::atomic<bool> stall_reported{false};
+    std::atomic<std::uint64_t> owner{0};  // hashed owner thread id
+  };
+
+  /// The record pool grows by whole chunks; records never move, so cached
+  /// pointers and in-flight scans stay valid. The `next` links are seq_cst
+  /// on both sides: a scanner whose seq_cst loads follow a record's
+  /// seq_cst pin in the total order is then guaranteed to observe the
+  /// chunk publication that preceded the pin, so try_advance can never
+  /// miss a pinned record in a freshly grown chunk.
+  struct RecordChunk {
+    Record records[kMaxThreads];
+    std::atomic<RecordChunk*> next{nullptr};
   };
 
   Record* acquire_record();
   void pin(Record& rec);
   void unpin(Record& rec);
   bool try_advance();
-  void free_eligible(Record& rec);
+  void note_stall(Record& rec, std::size_t index, std::uint64_t pinned);
+  static void lock_list(Record& rec) {
+    while (rec.list_lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  static bool try_lock_list(Record& rec) {
+    return !rec.list_lock.test_and_set(std::memory_order_acquire);
+  }
+  static void unlock_list(Record& rec) {
+    rec.list_lock.clear(std::memory_order_release);
+  }
+  void free_eligible(Record& rec);         // takes list_lock
+  void free_eligible_locked(Record& rec);  // caller holds list_lock
+  /// push_back with the OOM fallback described in the header comment.
+  /// Returns false iff the object had to be leaked. Caller holds list_lock.
+  bool push_retired(Record& rec, const Retired& r);
   void release_record_of_exiting_thread(Record* rec);
+
+  template <typename F>
+  void for_each_record(F&& fn) {
+    std::size_t index = 0;
+    for (RecordChunk* c = &head_chunk_; c != nullptr;
+         c = c->next.load(std::memory_order_seq_cst)) {
+      for (auto& rec : c->records) fn(rec, index++);
+    }
+  }
+  template <typename F>
+  void for_each_record(F&& fn) const {
+    const_cast<EbrDomain*>(this)->for_each_record(
+        [&fn](Record& rec, std::size_t i) {
+          fn(static_cast<const Record&>(rec), i);
+        });
+  }
 
   std::atomic<std::uint64_t> global_epoch_{1};
   std::uint64_t uid_;  // distinguishes reincarnated domains at one address
-  std::size_t retire_threshold_ = kDefaultRetireThreshold;
-  Record records_[kMaxThreads];
+  std::atomic<std::size_t> retire_threshold_{kDefaultRetireThreshold};
+  std::atomic<std::size_t> backlog_high_water_{kDefaultBacklogHighWater};
+  std::atomic<std::uint32_t> stall_strike_limit_{kDefaultStallStrikeLimit};
+  RecordChunk head_chunk_;
+
+  // Health counters (stats()).
+  std::atomic<std::uint64_t> pool_growths_{0};
+  std::atomic<std::uint64_t> backpressure_hits_{0};
+  std::atomic<std::uint64_t> backlog_steals_{0};
+  std::atomic<std::uint64_t> emergency_leaks_{0};
+  std::atomic<std::uint64_t> stall_fires_{0};
+  std::atomic<std::size_t> stalled_record_{static_cast<std::size_t>(-1)};
+  std::atomic<std::uint64_t> stalled_epoch_{0};
+  std::atomic<std::uint64_t> stalled_owner_{0};
 
   friend class Guard;
   friend struct TlsCache;

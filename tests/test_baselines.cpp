@@ -22,11 +22,22 @@
 #include "baselines/skiplist/skiplist.hpp"
 #include "util/random.hpp"
 
+// Whole-suite sanitizer presets (tsan/asan) define LOT_STRESS_DIVISOR > 1
+// to shrink the stress loops to fit the per-test timeout; the default
+// preset runs them at full size.
+#ifndef LOT_STRESS_DIVISOR
+#define LOT_STRESS_DIVISOR 1
+#endif
+
 namespace {
 
 using K = std::int64_t;
 using V = std::int64_t;
 using lot::util::Xoshiro256;
+
+constexpr int scaled(int n) {
+  return n / LOT_STRESS_DIVISOR > 0 ? n / LOT_STRESS_DIVISOR : 1;
+}
 
 using Impls = ::testing::Types<
     lot::baselines::SkipListMap<K, V>, lot::baselines::EfrbMap<K, V>,
@@ -103,7 +114,7 @@ TYPED_TEST(BaselineTest, DifferentialVsStdMap) {
   TypeParam m;
   std::map<K, V> oracle;
   Xoshiro256 rng(4242);
-  for (int i = 0; i < 60'000; ++i) {
+  for (int i = 0; i < scaled(60'000); ++i) {
     const K k = rng.next_in(0, 299);
     switch (rng.next_below(4)) {
       case 0:
@@ -156,7 +167,7 @@ TYPED_TEST(BaselineTest, StableKeysAlwaysFoundDuringChurn) {
   for (int t = 0; t < 3; ++t) {
     writers.emplace_back([&, t] {
       Xoshiro256 rng(100 + t);
-      for (int i = 0; i < 40'000; ++i) {
+      for (int i = 0; i < scaled(40'000); ++i) {
         K k = static_cast<K>(rng.next_below(kRange));
         if (k % kStride == 0) ++k;
         if (rng.percent(50)) {
@@ -186,7 +197,7 @@ TYPED_TEST(BaselineTest, DisjointPartitionsDeterministicResult) {
       Xoshiro256 rng(7000 + t);
       auto& mine = expected[t];
       const K base = static_cast<K>(t) * kPerThread;
-      for (int i = 0; i < 25'000; ++i) {
+      for (int i = 0; i < scaled(25'000); ++i) {
         const K k = base + static_cast<K>(rng.next_below(kPerThread));
         if (rng.percent(60)) {
           if (m.insert(k, k) != (mine.count(k) == 0)) bad = true;
@@ -219,7 +230,7 @@ TYPED_TEST(BaselineTest, SingleKeyContention) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(t);
-      for (int i = 0; i < 20'000; ++i) {
+      for (int i = 0; i < scaled(20'000); ++i) {
         if (rng.percent(50)) {
           if (m.insert(77, t)) ins.fetch_add(1);
         } else {
@@ -243,7 +254,7 @@ TYPED_TEST(BaselineTest, SharedKeyspaceMixedStress) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(13 * t + 1);
-      for (int i = 0; i < 30'000; ++i) {
+      for (int i = 0; i < scaled(30'000); ++i) {
         const K k = static_cast<K>(rng.next_below(kRange));
         switch (rng.next_below(3)) {
           case 0:

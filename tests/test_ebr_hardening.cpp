@@ -1,0 +1,231 @@
+// Tests for the EBR hardening layer (DESIGN.md §9): the epoch-stall
+// watchdog, backlog backpressure, quiescent steal, growable record pool,
+// and the stats() health snapshot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "reclaim/ebr.hpp"
+
+namespace {
+
+using lot::reclaim::EbrDomain;
+
+struct Tracked {
+  static std::atomic<int> live;
+  int payload = 0;
+  Tracked() { live.fetch_add(1); }
+  explicit Tracked(int p) : payload(p) { live.fetch_add(1); }
+  ~Tracked() { live.fetch_sub(1); }
+};
+std::atomic<int> Tracked::live{0};
+
+TEST(EbrHardening, StatsStartClean) {
+  EbrDomain domain;
+  const auto s = domain.stats();
+  EXPECT_GE(s.epoch, 1u);
+  EXPECT_EQ(s.pending_retired, 0u);
+  EXPECT_EQ(s.records_in_use, 0u);
+  EXPECT_EQ(s.record_capacity, EbrDomain::kMaxThreads);
+  EXPECT_EQ(s.pool_growths, 0u);
+  EXPECT_EQ(s.backpressure_hits, 0u);
+  EXPECT_EQ(s.backlog_steals, 0u);
+  EXPECT_EQ(s.emergency_leaks, 0u);
+  EXPECT_EQ(s.stall_watchdog_fires, 0u);
+  EXPECT_FALSE(s.stalled_now);
+  EXPECT_EQ(s.stalled_record, static_cast<std::size_t>(-1));
+}
+
+// A record pinned at the same epoch across stall_strike_limit failed
+// advances must be reported, with the owning thread's hashed id surfaced
+// so an operator can find the stuck thread. Unpinning ends the episode.
+TEST(EbrHardening, WatchdogReportsOffendingRecord) {
+  EbrDomain domain;
+  domain.set_retire_threshold(1);    // every retire attempts an advance
+  domain.set_stall_strike_limit(4);  // report quickly
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::atomic<std::uint64_t> straggler_hash{0};
+  std::thread straggler([&] {
+    straggler_hash =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    auto g = domain.guard();
+    parked = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  // Each retire attempts an advance; after the first one succeeds the
+  // straggler's pin is behind the global epoch and every further attempt
+  // strikes the same record.
+  for (int i = 0; i < 32; ++i) domain.retire(new Tracked(i));
+
+  const auto stalled = domain.stats();
+  EXPECT_GE(stalled.stall_watchdog_fires, 1u);
+  EXPECT_TRUE(stalled.stalled_now);
+  EXPECT_NE(stalled.stalled_record, static_cast<std::size_t>(-1));
+  EXPECT_GT(stalled.stalled_epoch, 0u);
+  EXPECT_EQ(stalled.stalled_owner, straggler_hash.load());
+
+  release = true;
+  straggler.join();
+  // The episode ended with the unpin; the monotonic fire count remains.
+  const auto after = domain.stats();
+  EXPECT_FALSE(after.stalled_now);
+  EXPECT_GE(after.stall_watchdog_fires, 1u);
+
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+// With the scan threshold effectively disabled, only backpressure can
+// reclaim. While a guard is parked the backlog grows unboundedly-in-time
+// but every retire past the high-water mark keeps forcing advance+free,
+// so the moment the straggler unpins the backlog collapses back under the
+// mark instead of waiting for a scan that would never come.
+TEST(EbrHardening, BackpressureCapsBacklogOnceStragglerUnpins) {
+  constexpr std::size_t kHighWater = 100;
+  constexpr int kRetired = 5000;
+  EbrDomain domain;
+  domain.set_retire_threshold(1u << 30);  // never reclaim via the scan path
+  domain.set_backlog_high_water(kHighWater);
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread straggler([&] {
+    auto g = domain.guard();
+    parked = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  const int live_before = Tracked::live.load();
+  for (int i = 0; i < kRetired; ++i) domain.retire(new Tracked(i));
+  // Pinned straggler: backpressure fires but cannot complete the two-epoch
+  // trip, so everything stays pending (and live).
+  EXPECT_EQ(Tracked::live.load() - live_before, kRetired);
+  EXPECT_GT(domain.stats().backpressure_hits, 0u);
+
+  release = true;
+  straggler.join();
+
+  // A handful of further retires, each forced through advance+free by the
+  // high-water mark, drains the whole parked-era backlog.
+  for (int i = 0; i < 8; ++i) domain.retire(new Tracked(i));
+  EXPECT_LE(domain.pending_retired(), kHighWater);
+
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), live_before);
+}
+
+// More simultaneous pinned threads than the initial pool holds: the pool
+// must grow (no abort), every thread gets a record, and the capacity
+// increase is visible in stats().
+TEST(EbrHardening, OversubscriptionGrowsPoolInsteadOfAborting) {
+  constexpr std::size_t kThreads = EbrDomain::kMaxThreads + 8;
+  EbrDomain domain;
+  std::atomic<std::size_t> pinned{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto g = domain.guard();
+      domain.retire(new Tracked());
+      pinned.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (pinned.load() < kThreads) std::this_thread::yield();
+
+  const auto s = domain.stats();
+  EXPECT_GE(s.records_in_use, kThreads);
+  EXPECT_GT(s.record_capacity, EbrDomain::kMaxThreads);
+  EXPECT_GE(s.pool_growths, 1u);
+
+  release = true;
+  for (auto& th : threads) th.join();
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+// flush() must adopt the backlog a dead thread left behind in its record,
+// so it keeps draining through the caller's retire cycles instead of
+// waiting for the slot to be reacquired by some future thread.
+TEST(EbrHardening, FlushStealsBacklogOfExitedThread) {
+  constexpr int kOrphaned = 200;
+  EbrDomain domain;
+  domain.set_retire_threshold(1u << 30);  // keep the worker's list intact
+
+  // Pin this thread's record first: otherwise flush()'s acquire_record
+  // would claim the dead worker's slot as its own (adopting the backlog by
+  // reacquisition, which bypasses the steal path this test targets).
+  { auto g = domain.guard(); }
+
+  // Straggler parks first so nothing the worker retires becomes eligible.
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread straggler([&] {
+    auto g = domain.guard();
+    parked = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  std::thread worker([&] {
+    for (int i = 0; i < kOrphaned; ++i) {
+      auto g = domain.guard();
+      domain.retire(new Tracked(i));
+    }
+  });
+  worker.join();  // record released; its retired list stays behind
+
+  domain.flush();  // cannot free (straggler), but must steal
+  const auto s = domain.stats();
+  EXPECT_GE(s.backlog_steals, static_cast<std::uint64_t>(kOrphaned));
+  EXPECT_GE(domain.pending_retired(), static_cast<std::size_t>(kOrphaned));
+  EXPECT_EQ(Tracked::live.load(), kOrphaned);
+
+  release = true;
+  straggler.join();
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+  EXPECT_EQ(domain.pending_retired(), 0u);
+}
+
+// The watchdog must not misfire on healthy churn. Single-threaded and
+// fully deterministic: a guard holding several retires strikes its own
+// record a few times (its pin falls behind the epoch its first retire
+// advanced), but the count resets at unpin — far below the limit, so
+// across thousands of guards no report may accumulate.
+TEST(EbrHardening, NoWatchdogFiresOnHealthyChurn) {
+  constexpr int kGuards = 1000;
+  constexpr int kRetiresPerGuard = 10;  // max 9 transient strikes, limit 64
+  EbrDomain domain;
+  domain.set_retire_threshold(1);
+  domain.set_stall_strike_limit(EbrDomain::kDefaultStallStrikeLimit);
+  for (int round = 0; round < kGuards; ++round) {
+    auto g = domain.guard();
+    for (int i = 0; i < kRetiresPerGuard; ++i) {
+      domain.retire(new Tracked(i));
+    }
+  }
+  // Transient strikes are fine; a full watchdog report is not.
+  EXPECT_EQ(domain.stats().stall_watchdog_fires, 0u);
+  EXPECT_FALSE(domain.stats().stalled_now);
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+  EXPECT_EQ(domain.stats().emergency_leaks, 0u);
+}
+
+}  // namespace

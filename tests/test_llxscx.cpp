@@ -81,6 +81,13 @@ TEST_F(LlxScxTest, ScxCommitsFieldChangeAndFinalizes) {
   EXPECT_FALSE(lx::llx(old_child, domain_).ok());
   // llx on the parent succeeds again (record is terminal).
   EXPECT_TRUE(lx::llx(parent, domain_).ok());
+
+  // Cleanup: each frozen node's info holds one reference on the record.
+  lx::dec_ref(parent->info.load(), domain_);
+  lx::dec_ref(old_child->info.load(), domain_);
+  lot::reclaim::delete_counted(parent);
+  lot::reclaim::delete_counted(old_child);
+  lot::reclaim::delete_counted(new_child);
 }
 
 TEST_F(LlxScxTest, StaleLlxIsRejected) {
@@ -101,6 +108,12 @@ TEST_F(LlxScxTest, StaleLlxIsRejected) {
 
   EXPECT_FALSE(do_scx({parent}, {stale.info}, {}, &parent->left, c2, c3));
   EXPECT_EQ(parent->left.load(), c2);  // unchanged
+
+  lx::dec_ref(parent->info.load(), domain_);  // the committed first SCX
+  lot::reclaim::delete_counted(parent);
+  lot::reclaim::delete_counted(c1);
+  lot::reclaim::delete_counted(c2);
+  lot::reclaim::delete_counted(c3);
 }
 
 TEST_F(LlxScxTest, MultiNodeFreezeAllOrNothing) {
@@ -126,6 +139,11 @@ TEST_F(LlxScxTest, MultiNodeFreezeAllOrNothing) {
   EXPECT_EQ(a->left.load(), b);
   EXPECT_TRUE(lx::llx(a, domain_).ok());  // a is usable again
   EXPECT_TRUE(lx::llx(b, domain_).ok());
+
+  // a holds the aborted two-node record, b the committed single-node one.
+  lx::dec_ref(a->info.load(), domain_);
+  lx::dec_ref(b->info.load(), domain_);
+  for (TestNode* n : {a, b, c, c2, d}) lot::reclaim::delete_counted(n);
 }
 
 TEST_F(LlxScxTest, ConcurrentScxOnSameNodeExactlyOneWins) {
@@ -162,6 +180,11 @@ TEST_F(LlxScxTest, ConcurrentScxOnSameNodeExactlyOneWins) {
     EXPECT_EQ(wins.load(), 1);
     TestNode* result = parent->left.load();
     EXPECT_TRUE(result == n1 || result == n2);
+
+    lx::dec_ref(parent->info.load(), domain_);  // the winner's record
+    for (TestNode* n : {parent, old_child, n1, n2}) {
+      lot::reclaim::delete_counted(n);
+    }
   }
 }
 
