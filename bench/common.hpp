@@ -1,6 +1,14 @@
 // Shared scaffolding for the table benchmarks: runs one throughput series
 // (threads sweep) per implementation per (mix, key-range) cell and prints
 // the same rows the paper's Tables 1 and 2 plot.
+//
+// With --repeats=N (N > 1) each cell reports the median across repeats
+// with the min..max spread — medians survive the scheduling noise of small
+// machines far better than means, which matters when the effect being
+// measured (e.g. the allocator ablation) is a single-digit percentage.
+// Pass --json=<path> to additionally dump every cell as one JSON row
+// (schema lot-bench-v1), which scripts/bench_snapshot.sh uses to commit
+// perf trajectories (BENCH_*.json).
 #pragma once
 
 #include <cstdint>
@@ -9,6 +17,7 @@
 #include <vector>
 
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "workload/driver.hpp"
 #include "workload/spec.hpp"
 
@@ -44,24 +53,36 @@ struct TableConfig {
   }
 };
 
-/// One implementation's throughput series across the thread sweep.
+/// One (implementation, thread-count) cell: the median throughput across
+/// repeats plus the spread, with the raw samples kept for the JSON dump.
+struct Cell {
+  double median = 0;
+  double min = 0;
+  double max = 0;
+  std::vector<double> samples;
+};
+
+/// One implementation's cells across the thread sweep.
+using Series = std::vector<Cell>;
+
 template <typename MapT>
-std::vector<double> run_series(const workload::Spec& spec,
-                               const TableConfig& cfg) {
-  std::vector<double> out;
+Series run_series(const workload::Spec& spec, const TableConfig& cfg) {
+  Series out;
   for (const auto threads : cfg.threads) {
-    double best = 0;
-    double sum = 0;
+    Cell cell;
     for (int rep = 0; rep < cfg.repeats; ++rep) {
       MapT map;
       const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(rep);
       workload::prefill(map, spec, static_cast<unsigned>(threads), seed);
       const auto r = workload::run_trial(
           map, spec, static_cast<unsigned>(threads), cfg.secs, seed + 1);
-      sum += r.mops_per_sec;
-      if (r.mops_per_sec > best) best = r.mops_per_sec;
+      cell.samples.push_back(r.mops_per_sec);
     }
-    out.push_back(sum / cfg.repeats);
+    const auto s = util::summarize(cell.samples);
+    cell.median = util::percentile(cell.samples, 50.0);
+    cell.min = s.min;
+    cell.max = s.max;
+    out.push_back(std::move(cell));
   }
   return out;
 }
@@ -74,18 +95,112 @@ inline void print_cell_header(const std::string& table,
               static_cast<long long>(spec.prefill_target()));
 }
 
+/// Medians in the main table; one spread block underneath when the run had
+/// repeats (so single-repeat smoke runs print exactly as before).
 inline void print_series_table(
     const std::vector<std::int64_t>& threads,
-    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+    const std::vector<std::pair<std::string, Series>>& series) {
   std::printf("%8s", "threads");
   for (const auto& [name, _] : series) std::printf("  %26s", name.c_str());
   std::printf("\n");
   for (std::size_t i = 0; i < threads.size(); ++i) {
     std::printf("%8lld", static_cast<long long>(threads[i]));
-    for (const auto& [_, values] : series) {
-      std::printf("  %20.3f Mop/s", values[i]);
+    for (const auto& [_, cells] : series) {
+      std::printf("  %20.3f Mop/s", cells[i].median);
     }
     std::printf("\n");
+  }
+  bool any_spread = false;
+  for (const auto& [_, cells] : series) {
+    for (const auto& c : cells) {
+      if (c.samples.size() > 1) any_spread = true;
+    }
+  }
+  if (!any_spread) return;
+  std::printf("  spread (min..max over repeats):\n");
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    std::printf("%8lld", static_cast<long long>(threads[i]));
+    for (const auto& [_, cells] : series) {
+      std::printf("  %12.3f..%-12.3f", cells[i].min, cells[i].max);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Accumulates benchmark cells and writes them as a flat JSON row list —
+/// schema lot-bench-v1: one row per (table, workload, range, impl,
+/// threads) with median/min/max Mop/s and the raw samples.
+class JsonReport {
+ public:
+  void add(const std::string& table, const workload::Spec& spec,
+           const TableConfig& cfg, const std::string& impl,
+           const Series& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      Row row;
+      row.table = table;
+      row.workload = spec.name;
+      row.key_range = spec.key_range;
+      row.impl = impl;
+      row.threads = cfg.threads[i];
+      row.secs = cfg.secs;
+      row.cell = cells[i];
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  /// Writes the report; returns false (with a message) if the file cannot
+  /// be opened. No external JSON dependency — the schema is flat enough to
+  /// emit by hand, and every string it embeds is a controlled identifier.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"lot-bench-v1\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(
+          f,
+          "    {\"table\": \"%s\", \"workload\": \"%s\", "
+          "\"key_range\": %lld, \"impl\": \"%s\", \"threads\": %lld, "
+          "\"secs\": %.3f, \"median_mops\": %.4f, \"min_mops\": %.4f, "
+          "\"max_mops\": %.4f, \"samples\": [",
+          r.table.c_str(), r.workload.c_str(),
+          static_cast<long long>(r.key_range), r.impl.c_str(),
+          static_cast<long long>(r.threads), r.secs, r.cell.median,
+          r.cell.min, r.cell.max);
+      for (std::size_t j = 0; j < r.cell.samples.size(); ++j) {
+        std::fprintf(f, "%s%.4f", j == 0 ? "" : ", ", r.cell.samples[j]);
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+ private:
+  struct Row {
+    std::string table;
+    std::string workload;
+    std::int64_t key_range = 0;
+    std::string impl;
+    std::int64_t threads = 0;
+    double secs = 0;
+    Cell cell;
+  };
+  std::vector<Row> rows_;
+};
+
+/// --json=<path> handling shared by the bench mains.
+inline void maybe_write_json(const util::Cli& cli, const JsonReport& report) {
+  const std::string path = cli.get_string("json", "");
+  if (path.empty()) return;
+  if (report.write(path)) {
+    std::printf("\nwrote %s\n", path.c_str());
   }
 }
 

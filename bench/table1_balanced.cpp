@@ -29,6 +29,7 @@ using V = std::int64_t;
 int main(int argc, char** argv) {
   lot::util::Cli cli(argc, argv);
   const auto cfg = lot::bench::TableConfig::from_cli(cli);
+  lot::bench::JsonReport report;
 
   for (const auto range : cfg.key_ranges) {
     for (const auto mix :
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
           lot::workload::Mix::k100C}) {
       const auto spec = lot::workload::make_spec(mix, range);
       lot::bench::print_cell_header("Table 1 (balanced)", spec);
-      std::vector<std::pair<std::string, std::vector<double>>> series;
+      std::vector<std::pair<std::string, lot::bench::Series>> series;
       series.emplace_back(
           "lo-avl",
           lot::bench::run_series<lot::lo::AvlMap<K, V>>(spec, cfg));
@@ -59,7 +60,11 @@ int main(int argc, char** argv) {
           lot::bench::run_series<lot::baselines::ChromaticMap<K, V>>(spec,
                                                                      cfg));
       lot::bench::print_series_table(cfg.threads, series);
+      for (const auto& [name, cells] : series) {
+        report.add("table1", spec, cfg, name, cells);
+      }
     }
   }
+  lot::bench::maybe_write_json(cli, report);
   return 0;
 }

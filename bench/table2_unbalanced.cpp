@@ -23,6 +23,7 @@ using V = std::int64_t;
 int main(int argc, char** argv) {
   lot::util::Cli cli(argc, argv);
   const auto cfg = lot::bench::TableConfig::from_cli(cli);
+  lot::bench::JsonReport report;
 
   std::vector<lot::workload::Mix> mixes = {lot::workload::Mix::k70C20I10R,
                                            lot::workload::Mix::k100C};
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
     for (const auto mix : mixes) {
       const auto spec = lot::workload::make_spec(mix, range);
       lot::bench::print_cell_header("Table 2 (unbalanced)", spec);
-      std::vector<std::pair<std::string, std::vector<double>>> series;
+      std::vector<std::pair<std::string, lot::bench::Series>> series;
       series.emplace_back(
           "lo-bst",
           lot::bench::run_series<lot::lo::BstMap<K, V>>(spec, cfg));
@@ -49,7 +50,11 @@ int main(int argc, char** argv) {
           lot::bench::run_series<lot::baselines::HjTreeMap<K, V>>(spec,
                                                                   cfg));
       lot::bench::print_series_table(cfg.threads, series);
+      for (const auto& [name, cells] : series) {
+        report.add("table2", spec, cfg, name, cells);
+      }
     }
   }
+  lot::bench::maybe_write_json(cli, report);
   return 0;
 }

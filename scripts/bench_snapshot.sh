@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Committed perf trajectory for the PR sequence: builds the default
+# (RelWithDebInfo) tree and runs the allocator/layout ablation on a small
+# grid, dumping every cell as JSON (schema lot-bench-v1) into BENCH_3.json
+# at the repo root. The grid is sized for a small CI box — medians over
+# several repeats of short trials, one key range, the three Table-1 mixes —
+# so the committed numbers are reproducible, not impressive.
+#
+# Usage: scripts/bench_snapshot.sh [out.json]
+# Environment: LOT_BENCH_SECS / LOT_BENCH_REPEATS / LOT_BENCH_THREADS
+# override the trial length, repeat count and thread list.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_3.json}"
+SECS="${LOT_BENCH_SECS:-0.4}"
+REPEATS="${LOT_BENCH_REPEATS:-5}"
+THREADS="${LOT_BENCH_THREADS:-1,4,8}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target ablation_alloc >/dev/null
+
+./build/bench/ablation_alloc \
+  --threads="$THREADS" --ranges=20000 \
+  --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
+
+echo "bench_snapshot.sh: wrote $OUT"

@@ -13,7 +13,10 @@
 #      counts scaled down by LOT_STRESS_DIVISOR=20);
 #   4. the whole-build AddressSanitizer+LeakSanitizer preset (build-asan/),
 #      so heap misuse and leaks gate alongside the race and
-#      linearizability checks.
+#      linearizability checks;
+#   5. the LOT_POOL_ALLOC=OFF escape hatch (build-nopool/): the full
+#      non-stress suite plus the fault campaign recompiled against plain
+#      new/delete, so the pool never becomes load-bearing for correctness.
 #
 # A non-linearizable history makes the stress tests dump the complete
 # trace + violation witness to $LOT_HISTORY_DUMP; this script pins that
@@ -36,24 +39,32 @@ fail() {
   exit 1
 }
 
-echo "== stage 1/4: tier-1 build + test =="
+echo "== stage 1/5: tier-1 build + test =="
 cmake -B build -S . >/dev/null || fail "configure"
 cmake --build build -j "$(nproc)" >/dev/null || fail "build"
 (cd build && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "tier-1 ctest"
 
-echo "== stage 2/4: perturbed linearizability + fault-injection stress =="
+echo "== stage 2/5: perturbed linearizability + fault-injection stress =="
 (cd build && ctest --output-on-failure -R "$STRESS_RE") \
   || fail "stress + checker"
 
-echo "== stage 3/4: ThreadSanitizer preset =="
+echo "== stage 3/5: ThreadSanitizer preset =="
 cmake --preset tsan >/dev/null || fail "tsan configure"
 cmake --build --preset tsan -j "$(nproc)" >/dev/null || fail "tsan build"
 ctest --preset tsan || fail "tsan ctest"
 
-echo "== stage 4/4: AddressSanitizer+LeakSanitizer preset =="
+echo "== stage 4/5: AddressSanitizer+LeakSanitizer preset =="
 cmake --preset asan >/dev/null || fail "asan configure"
 cmake --build --preset asan -j "$(nproc)" >/dev/null || fail "asan build"
 ctest --preset asan || fail "asan ctest"
+
+echo "== stage 5/5: LOT_POOL_ALLOC=OFF build + test =="
+cmake -B build-nopool -S . -DLOT_POOL_ALLOC=OFF >/dev/null \
+  || fail "nopool configure"
+cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
+(cd build-nopool && ctest --output-on-failure -j "$(nproc)" \
+  -E 'LoLinearizabilityStress|SeededBug|DriverCapture') \
+  || fail "nopool ctest (incl. fault campaign)"
 
 echo "check.sh: all stages passed"

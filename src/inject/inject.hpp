@@ -39,6 +39,7 @@ enum class Site : std::uint8_t {
   kPartialInsertAlloc,  // lo::PartialMap::insert node allocation (pre-lock)
   kGuardStallReader,    // reader parks while pinning an epoch (contains/get)
   kGuardStallWriter,    // writer parks while pinning an epoch (insert/erase)
+  kPoolAlloc,           // reclaim::PoolNodeAlloc::create (slab exhaustion)
   kCount
 };
 
@@ -50,6 +51,7 @@ inline const char* site_name(Site s) {
     case Site::kPartialInsertAlloc: return "partial-insert-alloc";
     case Site::kGuardStallReader: return "guard-stall-reader";
     case Site::kGuardStallWriter: return "guard-stall-writer";
+    case Site::kPoolAlloc: return "pool-alloc";
     default: return "?";
   }
 }

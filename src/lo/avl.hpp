@@ -11,7 +11,8 @@ namespace lot::lo {
 /// the full API. Translation units that define LOT_SCHEDULE_PERTURB get
 /// the schedule-perturbation hooks inside the update and rotation race
 /// windows (tests/stress/).
-template <typename K, typename V, typename Compare = std::less<K>>
-using AvlMap = LoMap<K, V, Compare, /*Balanced=*/true>;
+template <typename K, typename V, typename Compare = std::less<K>,
+          typename Alloc = reclaim::DefaultNodeAlloc>
+using AvlMap = LoMap<K, V, Compare, /*Balanced=*/true, Alloc>;
 
 }  // namespace lot::lo

@@ -10,7 +10,8 @@ namespace lot::lo {
 /// keys). See LoMap for the full API. Translation units that define
 /// LOT_SCHEDULE_PERTURB get the schedule-perturbation hooks inside the
 /// insert/remove/relocate race windows (tests/stress/).
-template <typename K, typename V, typename Compare = std::less<K>>
-using BstMap = LoMap<K, V, Compare, /*Balanced=*/false>;
+template <typename K, typename V, typename Compare = std::less<K>,
+          typename Alloc = reclaim::DefaultNodeAlloc>
+using BstMap = LoMap<K, V, Compare, /*Balanced=*/false, Alloc>;
 
 }  // namespace lot::lo

@@ -63,24 +63,41 @@
 #include "lo/node.hpp"
 #include "lo/rebalance.hpp"
 #include "reclaim/ebr.hpp"
+#include "reclaim/pool.hpp"
 #include "sync/backoff.hpp"
 
 namespace lot::lo {
 
+// `Alloc` is the node allocation policy (reclaim/pool.hpp): the slab pool
+// by default, plain counted new/delete under LOT_POOL_ALLOC=OFF or when a
+// benchmark asks for the A/B explicitly. `NodeTmpl` exists for the layout
+// ablation only — it lets bench/ablation_alloc.cpp instantiate the exact
+// same algorithm over a deliberately packed (pre-PR) node layout.
 template <typename K, typename V, typename Compare = std::less<K>,
-          bool Balanced = true>
+          bool Balanced = true,
+          typename Alloc = reclaim::DefaultNodeAlloc,
+          template <typename, typename> class NodeTmpl = Node>
 class LoMap {
  public:
   using key_type = K;
   using mapped_type = V;
-  using NodeT = Node<K, V>;
+  using alloc_type = Alloc;
+  using NodeT = NodeTmpl<K, V>;
 
   explicit LoMap(reclaim::EbrDomain& domain =
                      reclaim::EbrDomain::global_domain(),
                  Compare comp = Compare())
       : domain_(&domain), comp_(std::move(comp)) {
-    neg_ = reclaim::make_counted<NodeT>(K{}, V{}, Tag::kNegInf);
-    pos_ = reclaim::make_counted<NodeT>(K{}, V{}, Tag::kPosInf);
+    // Sentinels use the same allocation policy as ordinary nodes and are
+    // destroyed through it, so alloc_stats (and the pool's slot
+    // accounting) balance to zero at teardown.
+    neg_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kNegInf);
+    try {
+      pos_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kPosInf);
+    } catch (...) {
+      Alloc::template destroy<NodeT>(neg_);
+      throw;
+    }
     neg_->succ.store(pos_, std::memory_order_relaxed);
     pos_->pred.store(neg_, std::memory_order_relaxed);
     // The root is the +inf sentinel; -inf lives only in the ordering
@@ -94,7 +111,7 @@ class LoMap {
     NodeT* node = neg_;
     while (node != nullptr) {
       NodeT* next = node->succ.load(std::memory_order_relaxed);
-      reclaim::delete_counted(node);
+      Alloc::template destroy<NodeT>(node);
       node = next;
     }
   }
@@ -279,7 +296,7 @@ class LoMap {
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallWriter);
     inject::throw_if_alloc_fault(inject::Site::kLoInsertAlloc);
-    NodeT* nn = reclaim::make_counted<NodeT>(k, v);
+    NodeT* nn = Alloc::template create<NodeT>(k, v);
     for (;;) {
       NodeT* node = search(k);
       NodeT* p = cmp(node, k) >= 0
@@ -291,7 +308,7 @@ class LoMap {
           !p->mark.load(std::memory_order_acquire)) {
         if (cmp(s, k) == 0) {
           p->succ_lock.unlock();
-          reclaim::delete_counted(nn);  // never published
+          Alloc::template destroy<NodeT>(nn);  // never published
           return false;  // unsuccessful insert
         }
         NodeT* parent = choose_parent(p, s, node);
@@ -353,7 +370,7 @@ class LoMap {
         p->succ_lock.unlock();
         check::perturb_point(check::PerturbPoint::kEraseBeforeTreeUnlink);
         remove_from_tree(s, two_children);
-        domain_->retire(s);
+        domain_->template retire_via<Alloc>(s);
         return true;
       }
       p->succ_lock.unlock();  // validation failed; restart

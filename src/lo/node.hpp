@@ -12,12 +12,23 @@
 // iteration) are std::atomic and accessed with acquire/release; fields
 // only ever touched under their lock (the heights) are relaxed atomics so
 // that an accidental unlocked read is at worst stale, never UB.
+//
+// Layout is cache-conscious (DESIGN.md §10): the node is cacheline-aligned
+// with the lock-free read path — key, tag, mark, deleted, pred, succ,
+// value — grouped on the first line, and the write-side state — the tree
+// layout fields, both spinlocks, the heights (packed to int16_t; AVL
+// heights fit trivially) — pushed onto the second. A contains() that
+// walks the ordering layout touches one line per node instead of two, and
+// writers bouncing tree_lock/succ_lock lines never invalidate the line
+// readers are traversing. Static asserts below pin the contract.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 
+#include "sync/cacheline.hpp"
 #include "sync/spinlock.hpp"
 
 namespace lot::lo {
@@ -27,12 +38,12 @@ namespace lot::lo {
 enum class Tag : std::int8_t { kNegInf = -1, kNormal = 0, kPosInf = 1 };
 
 template <typename K, typename V>
-struct Node {
+struct alignas(sync::kCacheLineSize) Node {
   using Self = Node<K, V>;
 
+  // ---- hot line: everything the lock-free read path dereferences ----
   const K key;
   const Tag tag;
-  V value;
 
   /// True once the node is removed from the logical ordering. Shared
   /// meaning with the interval (node, succ(node)) being merged away.
@@ -42,17 +53,19 @@ struct Node {
   /// the node is logically absent but still present in both layouts.
   std::atomic<bool> deleted{false};
 
-  // ---- physical tree layout (tree_lock) ----
-  std::atomic<Self*> left{nullptr};
-  std::atomic<Self*> right{nullptr};
-  std::atomic<Self*> parent{nullptr};
-  std::atomic<std::int32_t> left_height{0};
-  std::atomic<std::int32_t> right_height{0};
-  sync::SpinLock tree_lock;
-
-  // ---- logical ordering layout (succ_lock) ----
+  // ---- logical ordering layout (succ_lock, on the cold line) ----
   std::atomic<Self*> pred{nullptr};
   std::atomic<Self*> succ{nullptr};
+
+  V value;
+
+  // ---- cold line: physical tree layout (tree_lock) + both locks ----
+  alignas(sync::kCacheLineSize) std::atomic<Self*> left{nullptr};
+  std::atomic<Self*> right{nullptr};
+  std::atomic<Self*> parent{nullptr};
+  std::atomic<std::int16_t> left_height{0};
+  std::atomic<std::int16_t> right_height{0};
+  sync::SpinLock tree_lock;
   sync::SpinLock succ_lock;
 
   Node(K k, V v, Tag t = Tag::kNormal)
@@ -61,8 +74,8 @@ struct Node {
   bool is_sentinel() const { return tag != Tag::kNormal; }
 
   std::int32_t height_of_subtrees() const {
-    const auto lh = left_height.load(std::memory_order_relaxed);
-    const auto rh = right_height.load(std::memory_order_relaxed);
+    const std::int32_t lh = left_height.load(std::memory_order_relaxed);
+    const std::int32_t rh = right_height.load(std::memory_order_relaxed);
     return lh > rh ? lh : rh;
   }
 
@@ -71,5 +84,39 @@ struct Node {
            right_height.load(std::memory_order_relaxed);
   }
 };
+
+// Layout guards, checked on the benchmark instantiation. offsetof on a
+// non-standard-layout type is conditionally-supported; GCC and Clang both
+// define it for this class shape, so silence their pedantic warning rather
+// than lose the guard. A future field added in the wrong place fails the
+// build here instead of silently re-splitting the hot line.
+namespace detail {
+using ProbeNode = Node<std::int64_t, std::int64_t>;
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+#endif
+static_assert(alignof(ProbeNode) == sync::kCacheLineSize,
+              "node must start on a cache line");
+static_assert(sizeof(ProbeNode) == 2 * sync::kCacheLineSize,
+              "node is one hot line + one cold line");
+static_assert(offsetof(ProbeNode, key) < sync::kCacheLineSize &&
+                  offsetof(ProbeNode, tag) < sync::kCacheLineSize &&
+                  offsetof(ProbeNode, mark) < sync::kCacheLineSize &&
+                  offsetof(ProbeNode, pred) + sizeof(void*) <=
+                      sync::kCacheLineSize &&
+                  offsetof(ProbeNode, succ) + sizeof(void*) <=
+                      sync::kCacheLineSize &&
+                  offsetof(ProbeNode, value) + sizeof(std::int64_t) <=
+                      sync::kCacheLineSize,
+              "lock-free read path must fit in the first cache line");
+static_assert(offsetof(ProbeNode, left) == sync::kCacheLineSize &&
+                  offsetof(ProbeNode, tree_lock) >= sync::kCacheLineSize &&
+                  offsetof(ProbeNode, succ_lock) >= sync::kCacheLineSize,
+              "tree fields and locks belong on the cold line");
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+}  // namespace detail
 
 }  // namespace lot::lo

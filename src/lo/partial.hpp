@@ -26,12 +26,14 @@
 #include "lo/node.hpp"
 #include "lo/rebalance.hpp"
 #include "reclaim/ebr.hpp"
+#include "reclaim/pool.hpp"
 #include "sync/backoff.hpp"
 
 namespace lot::lo {
 
 template <typename K, typename V, typename Compare = std::less<K>,
-          bool Balanced = true>
+          bool Balanced = true,
+          typename Alloc = reclaim::DefaultNodeAlloc>
 class PartialMap {
   static_assert(std::is_trivially_copyable_v<V>,
                 "the logical-removing variant stores values in an atomic "
@@ -40,21 +42,26 @@ class PartialMap {
  public:
   using key_type = K;
   using mapped_type = V;
+  using alloc_type = Alloc;
 
-  struct NodeT {
+  // Same hot/cold split as lo::Node: the lock-free read path (which here
+  // also loads `deleted` and the atomic value slot) on the first line,
+  // tree-layout state and both locks on the second.
+  struct alignas(sync::kCacheLineSize) NodeT {
     const K key;
     const Tag tag;
-    std::atomic<V> value;
     std::atomic<bool> mark{false};     // removed from the ordering layout
     std::atomic<bool> deleted{false};  // logically absent, physically kept
-    std::atomic<NodeT*> left{nullptr};
-    std::atomic<NodeT*> right{nullptr};
-    std::atomic<NodeT*> parent{nullptr};
-    std::atomic<std::int32_t> left_height{0};
-    std::atomic<std::int32_t> right_height{0};
-    sync::SpinLock tree_lock;
     std::atomic<NodeT*> pred{nullptr};
     std::atomic<NodeT*> succ{nullptr};
+    std::atomic<V> value;
+
+    alignas(sync::kCacheLineSize) std::atomic<NodeT*> left{nullptr};
+    std::atomic<NodeT*> right{nullptr};
+    std::atomic<NodeT*> parent{nullptr};
+    std::atomic<std::int16_t> left_height{0};
+    std::atomic<std::int16_t> right_height{0};
+    sync::SpinLock tree_lock;
     sync::SpinLock succ_lock;
 
     NodeT(K k, V v, Tag t = Tag::kNormal)
@@ -71,8 +78,16 @@ class PartialMap {
                           reclaim::EbrDomain::global_domain(),
                       Compare comp = Compare())
       : domain_(&domain), comp_(std::move(comp)) {
-    neg_ = reclaim::make_counted<NodeT>(K{}, V{}, Tag::kNegInf);
-    pos_ = reclaim::make_counted<NodeT>(K{}, V{}, Tag::kPosInf);
+    // Sentinels go through the same allocation policy as ordinary nodes
+    // (and are freed through it in the destructor), so alloc_stats — and
+    // the pool's slot accounting — balance to zero at teardown.
+    neg_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kNegInf);
+    try {
+      pos_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kPosInf);
+    } catch (...) {
+      Alloc::template destroy<NodeT>(neg_);
+      throw;
+    }
     neg_->succ.store(pos_, std::memory_order_relaxed);
     pos_->pred.store(neg_, std::memory_order_relaxed);
     root_ = pos_;
@@ -82,7 +97,7 @@ class PartialMap {
     NodeT* node = neg_;
     while (node != nullptr) {
       NodeT* next = node->succ.load(std::memory_order_relaxed);
-      reclaim::delete_counted(node);
+      Alloc::template destroy<NodeT>(node);
       node = next;
     }
   }
@@ -241,13 +256,13 @@ class PartialMap {
           // Physically present. Revive if it was logically deleted.
           if (!s->deleted.load(std::memory_order_acquire)) {
             p->succ_lock.unlock();
-            reclaim::delete_counted(nn);  // from a lost race, if any
+            Alloc::template destroy<NodeT>(nn);  // from a lost race, if any
             return false;
           }
           s->value.store(v, std::memory_order_relaxed);
           s->deleted.store(false, std::memory_order_release);
           p->succ_lock.unlock();
-          reclaim::delete_counted(nn);  // revived in place instead
+          Alloc::template destroy<NodeT>(nn);  // revived in place instead
           return true;
         }
         if (nn == nullptr) {
@@ -255,7 +270,7 @@ class PartialMap {
           // holding the interval lock. Drop it, allocate, revalidate.
           p->succ_lock.unlock();
           inject::throw_if_alloc_fault(inject::Site::kPartialInsertAlloc);
-          nn = reclaim::make_counted<NodeT>(k, v);
+          nn = Alloc::template create<NodeT>(k, v);
           continue;
         }
         NodeT* parent = choose_parent(p, s, node);
@@ -311,7 +326,7 @@ class PartialMap {
         s->succ_lock.unlock();
         p->succ_lock.unlock();
         unlink_and_rebalance(s, np, child);
-        domain_->retire(s);
+        domain_->template retire_via<Alloc>(s);
         // Opportunistic purge (paper: deleted nodes become physically
         // removable when their child count drops): np may now qualify.
         try_purge(np);
@@ -519,7 +534,7 @@ class PartialMap {
     q->succ_lock.unlock();
     p->succ_lock.unlock();
     unlink_and_rebalance(q, np, child);
-    domain_->retire(q);
+    domain_->template retire_via<Alloc>(q);
     return true;
   }
 
@@ -531,11 +546,35 @@ class PartialMap {
 };
 
 /// Table 1's "logical removing" AVL series.
-template <typename K, typename V, typename Compare = std::less<K>>
-using PartialAvlMap = PartialMap<K, V, Compare, true>;
+template <typename K, typename V, typename Compare = std::less<K>,
+          typename Alloc = reclaim::DefaultNodeAlloc>
+using PartialAvlMap = PartialMap<K, V, Compare, true, Alloc>;
 
 /// Table 2's "logical removing" BST series.
-template <typename K, typename V, typename Compare = std::less<K>>
-using PartialBstMap = PartialMap<K, V, Compare, false>;
+template <typename K, typename V, typename Compare = std::less<K>,
+          typename Alloc = reclaim::DefaultNodeAlloc>
+using PartialBstMap = PartialMap<K, V, Compare, false, Alloc>;
+
+// Layout guards for the nested node, mirroring lo/node.hpp's.
+namespace detail {
+using ProbePartialNode = PartialMap<std::int64_t, std::int64_t>::NodeT;
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+#endif
+static_assert(alignof(ProbePartialNode) == sync::kCacheLineSize &&
+                  sizeof(ProbePartialNode) == 2 * sync::kCacheLineSize,
+              "logical-removing node is one hot line + one cold line");
+static_assert(offsetof(ProbePartialNode, value) + sizeof(std::int64_t) <=
+                      sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, succ) + sizeof(void*) <=
+                      sync::kCacheLineSize,
+              "lock-free read path must fit in the first cache line");
+static_assert(offsetof(ProbePartialNode, left) == sync::kCacheLineSize,
+              "tree fields and locks belong on the cold line");
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+}  // namespace detail
 
 }  // namespace lot::lo

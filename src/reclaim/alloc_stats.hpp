@@ -30,6 +30,56 @@ struct AllocStats {
   }
 };
 
+/// Point-in-time copy of the global pool counters (see PoolStats). Plain
+/// integers so it can be embedded in other snapshot structs
+/// (EbrDomain::Stats) and compared across checkpoints in tests.
+struct PoolSnapshot {
+  std::uint64_t slabs = 0;            // slab chunks carved from the OS
+  std::uint64_t allocs = 0;           // slots handed out (excludes fallback)
+  std::uint64_t frees = 0;            // slots returned (excludes fallback)
+  std::uint64_t remote_frees = 0;     // frees routed via a remote-free stack
+  std::uint64_t fallback_allocs = 0;  // operator-new fallback allocations
+  std::uint64_t fallback_frees = 0;
+  std::uint64_t caches_created = 0;   // fresh per-thread caches
+  std::uint64_t caches_adopted = 0;   // orphaned caches re-used by new threads
+
+  std::uint64_t live_slots() const { return allocs - frees; }
+};
+
+/// Global counters for the slab/pool allocator (reclaim/pool.hpp),
+/// aggregated across every SizePool instance — the pool-side companion of
+/// the node-count counters above. Exported through EbrDomain::stats() so
+/// reclamation monitoring sees allocation health in the same snapshot.
+struct PoolStats {
+#define LOT_POOL_COUNTER(name)                       \
+  static std::atomic<std::uint64_t>& name() {        \
+    static std::atomic<std::uint64_t> v{0};          \
+    return v;                                        \
+  }
+  LOT_POOL_COUNTER(slabs)
+  LOT_POOL_COUNTER(allocs)
+  LOT_POOL_COUNTER(frees)
+  LOT_POOL_COUNTER(remote_frees)
+  LOT_POOL_COUNTER(fallback_allocs)
+  LOT_POOL_COUNTER(fallback_frees)
+  LOT_POOL_COUNTER(caches_created)
+  LOT_POOL_COUNTER(caches_adopted)
+#undef LOT_POOL_COUNTER
+
+  static PoolSnapshot snapshot() {
+    PoolSnapshot s;
+    s.slabs = slabs().load(std::memory_order_relaxed);
+    s.allocs = allocs().load(std::memory_order_relaxed);
+    s.frees = frees().load(std::memory_order_relaxed);
+    s.remote_frees = remote_frees().load(std::memory_order_relaxed);
+    s.fallback_allocs = fallback_allocs().load(std::memory_order_relaxed);
+    s.fallback_frees = fallback_frees().load(std::memory_order_relaxed);
+    s.caches_created = caches_created().load(std::memory_order_relaxed);
+    s.caches_adopted = caches_adopted().load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
 /// Counted allocation used for all tree nodes so experiments can observe
 /// live-node counts without instrumenting every implementation separately.
 /// The count moves only after `new` succeeds: a throwing allocation must

@@ -422,6 +422,7 @@ EbrDomain::Stats EbrDomain::stats() const {
   s.stalled_record = stalled_record_.load(std::memory_order_relaxed);
   s.stalled_epoch = stalled_epoch_.load(std::memory_order_relaxed);
   s.stalled_owner = stalled_owner_.load(std::memory_order_relaxed);
+  s.pool = PoolStats::snapshot();
   return s;
 }
 

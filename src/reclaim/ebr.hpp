@@ -87,6 +87,19 @@ class EbrDomain {
     });
   }
 
+  /// Defers `Alloc::destroy(p)` until no guard can reference `p` — how the
+  /// trees return nodes to whatever allocation policy created them
+  /// (reclaim/pool.hpp). With the pool policy the grace period is what
+  /// makes slot recycling safe: the slot re-enters a free list only after
+  /// every guard that could reach the node has ended, so the pool itself
+  /// needs no quarantine of its own. The deleter runs on whichever thread
+  /// drains the backlog, which is why the pool's cross-thread free path
+  /// (remote-free stacks) is the common case, not the exception.
+  template <typename Alloc, typename T>
+  void retire_via(T* p) {
+    retire_raw(p, [](void* q) { Alloc::template destroy<T>(static_cast<T*>(q)); });
+  }
+
   /// Type-erased variant; `deleter` must be callable from any thread.
   void retire_raw(void* p, void (*deleter)(void*));
 
@@ -140,6 +153,10 @@ class EbrDomain {
     std::size_t stalled_record = static_cast<std::size_t>(-1);
     std::uint64_t stalled_epoch = 0;  // the epoch the straggler pins
     std::uint64_t stalled_owner = 0;  // hashed owner thread id
+    // Slab-pool allocator health (process-global, reclaim/alloc_stats.hpp)
+    // in the same snapshot, so a reclamation stall and the allocation
+    // pressure it causes are visible side by side.
+    PoolSnapshot pool;
   };
   Stats stats() const;
 

@@ -1,0 +1,222 @@
+// Per-thread slab/pool node allocator (DESIGN.md §10).
+//
+// The paper's Java implementation gets node allocation nearly for free: a
+// TLAB bump pointer on allocation, and the GC recycles removed nodes
+// without any explicit free. Our C++ substitution paid a global
+// `operator new`/`delete` on every insert/erase — the dominant cost of the
+// update-heavy Table-1 mixes. This pool closes that gap:
+//
+//  * memory comes in 64 KiB slabs aligned to their own size, so any slot
+//    pointer finds its slab header with one mask (`p & ~(kSlabBytes-1)`),
+//    jemalloc/mimalloc style — no per-slot header, no lookup table;
+//  * each slab is carved into cacheline-aligned fixed-size slots; a slab
+//    belongs to the per-thread cache that carved it;
+//  * allocation is a thread-local LIFO free-list pop (or a bump carve from
+//    the cache's newest slab) — no atomics on the fast path;
+//  * a free from the owning thread pushes back onto the local list; a free
+//    from any other thread (the common case under EBR, where whoever
+//    advances the epoch frees the backlog) pushes onto the slab's lock-free
+//    remote-free *stack*, and the owner harvests those stacks in bulk when
+//    its local list runs dry — so every slot eventually returns to the
+//    cache that owns its slab;
+//  * when a thread exits, its cache (slabs, free list, pending remote
+//    frees) is parked on an orphan list and adopted wholesale by the next
+//    new thread, mirroring EbrDomain's record recycling;
+//  * if slab allocation fails (or a test caps it via set_slab_limit), the
+//    pool falls back to a plain aligned `operator new` per object, tracked
+//    in a side set so deallocate can route those frees back to `operator
+//    delete`; with the fallback disabled too, allocate() throws
+//    std::bad_alloc — which the insert paths surface *before* taking any
+//    lock (the PR-2 strong exception-safety contract).
+//
+// Reclamation safety: the pool itself imposes no grace period — callers
+// free through EbrDomain::retire_via<Alloc>, whose deleter runs only after
+// two epoch advances, so a slot can never re-enter a free list while a
+// parked Guard could still dereference it (DESIGN.md §10 has the argument).
+//
+// Debug hardening: freed slots are poisoned — pattern-filled (0xDB) in
+// !NDEBUG builds and additionally ASan-poisoned under
+// AddressSanitizer — so a use-after-recycle reads garbage (or faults under
+// ASan) instead of silently observing the next occupant. The first word of
+// a freed slot stays unpoisoned: it carries the free-list link.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "inject/inject.hpp"
+#include "reclaim/alloc_stats.hpp"
+#include "sync/cacheline.hpp"
+
+namespace lot::reclaim {
+
+/// Fixed-slot-size pool. One instance serves one object size/alignment
+/// (pool_for<T>() below gives the per-type singleton); the class itself is
+/// untyped so the machinery is compiled once, not once per node type.
+///
+/// Thread safety: allocate()/deallocate() are safe from any thread.
+/// Destruction requires quiescence (no outstanding slots, no concurrent
+/// calls) — like EbrDomain, a registry keeps thread-exit cleanup from
+/// touching a pool that died first.
+class SizePool {
+ public:
+  /// Slab size and alignment. Power of two so slot → slab is one mask.
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 16;
+
+  SizePool(std::size_t object_bytes, std::size_t object_align);
+  ~SizePool();
+  SizePool(const SizePool&) = delete;
+  SizePool& operator=(const SizePool&) = delete;
+
+  /// One cacheline-aligned slot of slot_bytes(). Throws std::bad_alloc
+  /// when a new slab cannot be had and the fallback is disabled (or the
+  /// fallback allocation itself fails); no pool state changes in that case.
+  void* allocate();
+
+  /// Returns a slot from any thread. Owner thread: local free-list push.
+  /// Other threads: lock-free push onto the slot's slab's remote stack.
+  void deallocate(void* p) noexcept;
+
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  std::size_t slots_per_slab() const { return slots_per_slab_; }
+
+  /// Test/ops knobs. slab_limit 0 = unlimited. With the limit reached and
+  /// the fallback disabled, allocate() throws — how tests drive the
+  /// exhaustion path deterministically.
+  void set_slab_limit(std::size_t n) {
+    slab_limit_.store(n, std::memory_order_relaxed);
+  }
+  void set_fallback_enabled(bool on) {
+    fallback_enabled_.store(on, std::memory_order_relaxed);
+  }
+  /// Poison freed slots (pattern 0xDB past the link word). Defaults to on
+  /// in !NDEBUG and ASan builds, off in plain release builds.
+  void set_poison(bool on) { poison_.store(on, std::memory_order_relaxed); }
+
+  std::size_t slab_count() const {
+    return slab_count_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr unsigned char kPoisonByte = 0xDB;
+
+ private:
+  struct Slab;
+  struct Cache;
+
+  Cache& local_cache();            // may create/adopt (can throw bad_alloc)
+  Cache* local_cache_if_cached();  // never creates
+  Cache* acquire_cache();          // mutex: orphan pop or fresh Cache
+  void release_cache_of_exiting_thread(Cache* c);
+
+  bool harvest_remote(Cache& c);   // splice remote stacks into the free list
+  Slab* try_new_slab(Cache& c);    // nullptr if capped or OOM
+  void* fallback_allocate();       // operator-new path; may throw
+  bool try_free_fallback(void* p);
+  void poison_slot(void* p) noexcept;
+  void unpoison_slot(void* p) noexcept;
+
+  std::size_t slot_bytes_ = 0;
+  std::size_t slot_align_ = 0;
+  std::size_t payload_offset_ = 0;
+  std::size_t slots_per_slab_ = 0;
+  std::uint64_t uid_;  // distinguishes reincarnated pools at one address
+
+  std::atomic<std::size_t> slab_limit_{0};
+  std::atomic<bool> fallback_enabled_{true};
+  std::atomic<bool> poison_;
+  std::atomic<std::size_t> slab_count_{0};
+
+  std::mutex mutex_;            // cache acquire/release, slab creation
+  Cache* orphans_ = nullptr;    // caches of exited threads, adoptable
+  std::vector<Cache*> caches_;  // every cache ever created (dtor cleanup)
+  std::vector<void*> slabs_;    // every slab chunk (dtor cleanup)
+
+  // Fallback allocations outstanding. The counter gates the (rare) set
+  // lookup in deallocate: a fallback pointer's allocation happens-before
+  // its free (publication + EBR grace), so a zero read proves `p` is a
+  // slab slot and the mask below it is safe.
+  std::mutex fallback_mutex_;
+  std::unordered_set<void*> fallback_;
+  std::atomic<std::size_t> fallback_outstanding_{0};
+
+  friend struct PoolTls;
+};
+
+/// The per-type pool singleton. Deliberately immortal (never destroyed):
+/// the global EbrDomain can flush retired nodes during static destruction,
+/// after any destructible function-local static would already be gone. The
+/// pointer lives in static storage, so LeakSanitizer sees the slabs as
+/// reachable, not leaked.
+template <typename T>
+SizePool& pool_for() {
+  static SizePool* pool = new SizePool(sizeof(T), alignof(T));
+  return *pool;
+}
+
+/// Allocation policy threaded through LoMap/PartialMap: plain counted
+/// new/delete — the pre-pool behaviour, kept for A/B runs
+/// (LOT_POOL_ALLOC=OFF and the allocator ablation).
+struct NewNodeAlloc {
+  static constexpr std::string_view name() { return "new"; }
+
+  template <typename T, typename... Args>
+  static T* create(Args&&... args) {
+    return make_counted<T>(std::forward<Args>(args)...);
+  }
+
+  template <typename T>
+  static void destroy(T* p) {
+    delete_counted(p);
+  }
+};
+
+/// Allocation policy backed by the per-type SizePool. Keeps the AllocStats
+/// node counters moving exactly like make_counted/delete_counted, so the
+/// leak-accounting tests hold for either policy. The kPoolAlloc injection
+/// site fires here (in instrumented TUs) so the fault campaign can attack
+/// pool exhaustion on top of the insert-site injector.
+struct PoolNodeAlloc {
+  static constexpr std::string_view name() { return "pool"; }
+
+  template <typename T, typename... Args>
+  static T* create(Args&&... args) {
+    inject::throw_if_alloc_fault(inject::Site::kPoolAlloc);
+    SizePool& pool = pool_for<T>();
+    void* mem = pool.allocate();
+    T* p;
+    try {
+      p = ::new (mem) T(std::forward<Args>(args)...);
+    } catch (...) {
+      pool.deallocate(mem);
+      throw;
+    }
+    AllocStats::allocated().fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+
+  template <typename T>
+  static void destroy(T* p) {
+    if (p == nullptr) return;
+    AllocStats::freed().fetch_add(1, std::memory_order_relaxed);
+    p->~T();
+    pool_for<T>().deallocate(p);
+  }
+};
+
+/// What LoMap/PartialMap default to. LOT_POOL_ALLOC=OFF (CMake) defines
+/// LOT_DISABLE_POOL_ALLOC and restores plain new/delete everywhere, the
+/// A/B escape hatch for benchmarks and sanitizer bisection.
+#if defined(LOT_DISABLE_POOL_ALLOC)
+using DefaultNodeAlloc = NewNodeAlloc;
+#else
+using DefaultNodeAlloc = PoolNodeAlloc;
+#endif
+
+}  // namespace lot::reclaim

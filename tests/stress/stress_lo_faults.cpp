@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <new>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "check/perturb.hpp"
@@ -24,6 +25,7 @@
 #include "lo/validate.hpp"
 #include "reclaim/alloc_stats.hpp"
 #include "reclaim/ebr.hpp"
+#include "reclaim/pool.hpp"
 #include "sync/barrier.hpp"
 #include "util/random.hpp"
 
@@ -50,6 +52,7 @@ struct FaultParams {
   bool check_heights = false;
   bool partial = false;
   std::uint32_t alloc_fail_permille = 60;
+  std::uint32_t pool_fail_permille = 20;  // slab exhaustion inside the pool
   std::uint32_t stall_permille = 12;
   std::uint32_t stall_max_us = 120;
 };
@@ -60,6 +63,7 @@ void arm_injection(const FaultParams& p) {
   inject::set_site_rate(inject::Site::kLoInsertAlloc, p.alloc_fail_permille);
   inject::set_site_rate(inject::Site::kPartialInsertAlloc,
                         p.alloc_fail_permille);
+  inject::set_site_rate(inject::Site::kPoolAlloc, p.pool_fail_permille);
   inject::set_site_rate(inject::Site::kGuardStallReader, p.stall_permille);
   inject::set_site_rate(inject::Site::kGuardStallWriter, p.stall_permille);
   inject::set_stall_max_us(p.stall_max_us);
@@ -147,7 +151,16 @@ void run_fault_campaign(const FaultParams& p) {
     const auto alloc_site = p.partial ? inject::Site::kPartialInsertAlloc
                                       : inject::Site::kLoInsertAlloc;
     EXPECT_GT(inject::fires(alloc_site), 0u);
-    EXPECT_EQ(inject::fires(alloc_site), survived_oom.load());
+    // Pool-site faults (slab exhaustion inside Alloc::create) surface as
+    // the same caught bad_alloc; in LOT_POOL_ALLOC=OFF builds the site
+    // never fires and this reduces to the pre-pool equation.
+    EXPECT_EQ(inject::fires(alloc_site) +
+                  inject::fires(inject::Site::kPoolAlloc),
+              survived_oom.load());
+    if (std::is_same_v<lot::reclaim::DefaultNodeAlloc,
+                       lot::reclaim::PoolNodeAlloc>) {
+      EXPECT_GT(inject::fires(inject::Site::kPoolAlloc), 0u);
+    }
     EXPECT_GT(inject::fires(inject::Site::kGuardStallReader) +
                   inject::fires(inject::Site::kGuardStallWriter),
               0u);
