@@ -1,0 +1,82 @@
+// Range-scan ablation (PR 4's ordered layer, DESIGN.md §11): what do
+// scans cost on the logical-ordering trees, and how does the tree's
+// chain-walk range() compare with the skip list's native bottom-level
+// walk as scans get longer?
+//
+// Series, all running the identical driver mix:
+//   lo-avl          — on-time removal tree, range() via the ordering chain
+//   lo-avl-lr       — logical-removing tree: scans additionally step over
+//                     zombie nodes, the ablation's reason to exist
+//   skiplist        — lock-free skip list, range() via the bottom level
+//
+// The sweep is over scan_len (keys spanned per scan), not threads alone:
+// the interesting quantity is how throughput decays as each scan pins the
+// ordering chain for longer. Defaults are one scan-heavy mix at 1/4/8
+// threads over the 20k key range, scan lengths 16/64/256;
+// --scanlens=<list> overrides the sweep, the rest as in the table benches
+// (--threads/--ranges/--secs/--repeats/--json).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/skiplist/skiplist.hpp"
+#include "bench/common.hpp"
+#include "lo/avl.hpp"
+#include "lo/partial.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using K = std::int64_t;
+using V = std::int64_t;
+
+using Avl = lot::lo::AvlMap<K, V>;
+using PartialAvl = lot::lo::PartialAvlMap<K, V>;
+using SkipList = lot::baselines::SkipListMap<K, V>;
+
+/// The scan-heavy mix: 30% contains / 20% insert / 20% remove / 30% range
+/// scans of `scan_len` keys. Update share matches the symmetric paper
+/// mixes so prefill_target() keeps the half-full steady state.
+lot::workload::Spec scan_spec(std::int64_t key_range, std::int64_t scan_len) {
+  lot::workload::Spec spec;
+  spec.name = "30C-20I-20R-30S-len" + std::to_string(scan_len);
+  spec.contains_pct = 30;
+  spec.insert_pct = 20;
+  spec.remove_pct = 20;
+  spec.scan_pct = 30;
+  spec.scan_len = scan_len;
+  spec.key_range = key_range;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lot::util::Cli cli(argc, argv);
+  auto cfg = lot::bench::TableConfig::from_cli(cli);
+  if (!cli.has("threads") && !cli.has("paper")) cfg.threads = {1, 4, 8};
+  if (!cli.has("ranges") && !cli.has("paper")) cfg.key_ranges = {20'000};
+  const auto scan_lens =
+      cli.get_int_list("scanlens", std::vector<std::int64_t>{16, 64, 256});
+  lot::bench::JsonReport report;
+
+  for (const auto range : cfg.key_ranges) {
+    for (const auto len : scan_lens) {
+      const auto spec = scan_spec(range, len);
+      lot::bench::print_cell_header("Range-scan ablation", spec);
+      std::vector<std::pair<std::string, lot::bench::Series>> series;
+      series.emplace_back("lo-avl", lot::bench::run_series<Avl>(spec, cfg));
+      series.emplace_back("lo-avl-lr",
+                          lot::bench::run_series<PartialAvl>(spec, cfg));
+      series.emplace_back("skiplist",
+                          lot::bench::run_series<SkipList>(spec, cfg));
+      lot::bench::print_series_table(cfg.threads, series);
+      for (const auto& [name, cells] : series) {
+        report.add("ablation_range", spec, cfg, name, cells);
+      }
+    }
+  }
+  lot::bench::maybe_write_json(cli, report);
+  return 0;
+}

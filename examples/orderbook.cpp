@@ -116,12 +116,44 @@ int main() {
               static_cast<unsigned long long>(quotes.load()),
               static_cast<unsigned long long>(crossed.load()));
 
-  // Depth snapshot: the five best levels each side, via ordered iteration.
-  std::printf("top ask levels:");
-  int shown = 0;
-  book.asks.for_each([&](Price p, Volume v) {
-    if (shown++ < 5) std::printf("  %lld x%lld", (long long)p, (long long)v);
-  });
-  std::printf("\n");
+  // Depth snapshot via the ordered/range API: everything within a fixed
+  // band of the touch, one lock-free chain walk per side — no whole-map
+  // iteration, no counting hacks.
+  constexpr Price kBand = 12;
+  if (const auto ba = book.best_ask()) {
+    std::printf("ask depth [%lld, %lld):", static_cast<long long>(*ba),
+                static_cast<long long>(*ba + kBand));
+    Volume total = 0;
+    book.asks.range(*ba, *ba + kBand, [&](Price p, Volume v) {
+      total += v;
+      std::printf("  %lld x%lld", static_cast<long long>(p),
+                  static_cast<long long>(v));
+    });
+    std::printf("  (=%lld shares)\n", static_cast<long long>(total));
+  }
+  if (const auto bb = book.best_bid()) {
+    std::printf("bid depth (%lld, %lld]:", static_cast<long long>(*bb - kBand),
+                static_cast<long long>(*bb));
+    Volume total = 0;
+    book.bids.range(*bb - kBand + 1, *bb + 1, [&](Price p, Volume v) {
+      total += v;
+      std::printf("  %lld x%lld", static_cast<long long>(p),
+                  static_cast<long long>(v));
+    });
+    std::printf("  (=%lld shares)\n", static_cast<long long>(total));
+  }
+
+  // first/last_in_range answer "cheapest ask (deepest bid) inside a
+  // band" without materializing the band.
+  if (const auto lvl = book.asks.first_in_range(kMid, kMid + kDepth)) {
+    std::printf("first ask level at/above mid: %lld x%lld\n",
+                static_cast<long long>(lvl->first),
+                static_cast<long long>(lvl->second));
+  }
+  if (const auto lvl = book.bids.last_in_range(kMid - kDepth, kMid)) {
+    std::printf("last bid level below mid:     %lld x%lld\n",
+                static_cast<long long>(lvl->first),
+                static_cast<long long>(lvl->second));
+  }
   return 0;
 }

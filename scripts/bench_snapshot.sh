@@ -1,27 +1,44 @@
 #!/usr/bin/env bash
 # Committed perf trajectory for the PR sequence: builds the default
-# (RelWithDebInfo) tree and runs the allocator/layout ablation on a small
-# grid, dumping every cell as JSON (schema lot-bench-v1) into BENCH_3.json
-# at the repo root. The grid is sized for a small CI box — medians over
-# several repeats of short trials, one key range, the three Table-1 mixes —
-# so the committed numbers are reproducible, not impressive.
+# (RelWithDebInfo) tree and runs the current PR's ablation on a small
+# grid, dumping every cell as JSON (schema lot-bench-v1) at the repo
+# root. The grid is sized for a small CI box — medians over several
+# repeats of short trials, one key range — so the committed numbers are
+# reproducible, not impressive.
+#
+# Snapshots so far:
+#   BENCH_3.json — allocator/layout ablation (ablation_alloc)
+#   BENCH_4.json — range-scan ablation, tree vs skiplist over a
+#                  scan-length sweep (ablation_range)
 #
 # Usage: scripts/bench_snapshot.sh [out.json]
+# The target ablation is picked from the output name; default BENCH_4.json.
 # Environment: LOT_BENCH_SECS / LOT_BENCH_REPEATS / LOT_BENCH_THREADS
 # override the trial length, repeat count and thread list.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_3.json}"
+OUT="${1:-BENCH_4.json}"
 SECS="${LOT_BENCH_SECS:-0.4}"
 REPEATS="${LOT_BENCH_REPEATS:-5}"
 THREADS="${LOT_BENCH_THREADS:-1,4,8}"
 
-cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target ablation_alloc >/dev/null
+case "$OUT" in
+  *BENCH_3*) TARGET=ablation_alloc ;;
+  *) TARGET=ablation_range ;;
+esac
 
-./build/bench/ablation_alloc \
-  --threads="$THREADS" --ranges=20000 \
-  --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target "$TARGET" >/dev/null
+
+if [ "$TARGET" = ablation_alloc ]; then
+  ./build/bench/ablation_alloc \
+    --threads="$THREADS" --ranges=20000 \
+    --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
+else
+  ./build/bench/ablation_range \
+    --threads="$THREADS" --ranges=20000 --scanlens=16,64,256 \
+    --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
+fi
 
 echo "bench_snapshot.sh: wrote $OUT"

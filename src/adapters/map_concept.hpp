@@ -7,6 +7,7 @@
 #include <concepts>
 #include <optional>
 #include <string_view>
+#include <utility>
 
 namespace lot::adapters {
 
@@ -23,12 +24,40 @@ concept ConcurrentMap = requires(M m, const M cm,
   { M::name() } -> std::convertible_to<std::string_view>;
 };
 
-/// Maps that additionally support ordered access (min/max/for_each); the
-/// skip list and all the trees do, hash-style baselines would not.
+/// Maps that additionally support the full ordered surface — min/max,
+/// whole-map iteration, range scans over [lo, hi), and first/last-in-range
+/// queries; the skip list and all the trees do, hash-style baselines would
+/// not. Consistency is implementation-defined but at least weakly
+/// consistent per key (see DESIGN.md §11 for the lo trees' guarantee);
+/// callbacks are invoked in strictly ascending key order.
+///
+/// The callback is spelled as a function pointer here only to give the
+/// requires-expression a concrete callable; implementations take any
+/// `fn(const K&, const V&)` invocable by template parameter.
 template <typename M>
-concept OrderedMap = ConcurrentMap<M> && requires(const M cm) {
-  cm.min();
-  cm.max();
-};
+concept OrderedMap =
+    ConcurrentMap<M> &&
+    requires(const M cm, const typename M::key_type& k,
+             void (*fn)(const typename M::key_type&,
+                        const typename M::mapped_type&)) {
+      {
+        cm.min()
+      } -> std::same_as<std::optional<
+            std::pair<typename M::key_type, typename M::mapped_type>>>;
+      {
+        cm.max()
+      } -> std::same_as<std::optional<
+            std::pair<typename M::key_type, typename M::mapped_type>>>;
+      cm.for_each(fn);
+      cm.range(k, k, fn);
+      {
+        cm.first_in_range(k, k)
+      } -> std::same_as<std::optional<
+            std::pair<typename M::key_type, typename M::mapped_type>>>;
+      {
+        cm.last_in_range(k, k)
+      } -> std::same_as<std::optional<
+            std::pair<typename M::key_type, typename M::mapped_type>>>;
+    };
 
 }  // namespace lot::adapters

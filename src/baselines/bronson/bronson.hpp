@@ -138,6 +138,37 @@ class BronsonMap {
     visit(root_holder_->right.load(std::memory_order_acquire), fn);
   }
 
+  /// Ordered scan over [lo, hi). The raw in-order sweep carries no
+  /// version validation, so the physical key order is only weakly
+  /// trustworthy under concurrent rotations — this filters a full
+  /// traversal rather than pruning by key: O(n) regardless of range
+  /// width, weakly consistent like for_each. Fine for differential
+  /// tests; use the lo trees or the skiplist when range cost matters.
+  template <typename F>
+  void range(const K& lo, const K& hi, F&& fn) const {
+    if (!comp_(lo, hi)) return;
+    for_each([&](const K& k, const V& v) {
+      if (!comp_(k, lo) && comp_(k, hi)) fn(k, v);
+    });
+  }
+
+  std::optional<std::pair<K, V>> first_in_range(const K& lo,
+                                                const K& hi) const {
+    std::optional<std::pair<K, V>> out;
+    range(lo, hi, [&out](const K& k, const V& v) {
+      if (!out) out = std::make_pair(k, v);
+    });
+    return out;
+  }
+
+  std::optional<std::pair<K, V>> last_in_range(const K& lo,
+                                               const K& hi) const {
+    std::optional<std::pair<K, V>> out;
+    range(lo, hi,
+          [&out](const K& k, const V& v) { out = std::make_pair(k, v); });
+    return out;
+  }
+
   std::size_t size_slow() const {
     std::size_t n = 0;
     for_each([&n](const K&, const V&) { ++n; });

@@ -59,6 +59,42 @@ class CoarseMap {
     for (const auto& [k, v] : map_) fn(k, v);
   }
 
+  /// Ordered scan over [lo, hi). Unlike the concurrent structures this is
+  /// an actual atomic snapshot of the range (the global mutex is held for
+  /// the whole scan) — which makes it the reference implementation in
+  /// differential range tests.
+  template <typename F>
+  void range(const K& lo, const K& hi, F&& fn) const {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!map_.key_comp()(lo, hi)) return;
+    for (auto it = map_.lower_bound(lo);
+         it != map_.end() && map_.key_comp()(it->first, hi); ++it) {
+      fn(it->first, it->second);
+    }
+  }
+
+  std::optional<std::pair<K, V>> first_in_range(const K& lo,
+                                                const K& hi) const {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!map_.key_comp()(lo, hi)) return std::nullopt;
+    auto it = map_.lower_bound(lo);
+    if (it == map_.end() || !map_.key_comp()(it->first, hi)) {
+      return std::nullopt;
+    }
+    return std::make_pair(it->first, it->second);
+  }
+
+  std::optional<std::pair<K, V>> last_in_range(const K& lo,
+                                               const K& hi) const {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!map_.key_comp()(lo, hi)) return std::nullopt;
+    auto it = map_.lower_bound(hi);
+    if (it == map_.begin()) return std::nullopt;
+    --it;
+    if (map_.key_comp()(it->first, lo)) return std::nullopt;
+    return std::make_pair(it->first, it->second);
+  }
+
   std::size_t size_slow() const {
     std::lock_guard<std::mutex> g(mu_);
     return map_.size();

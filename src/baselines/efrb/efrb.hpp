@@ -174,6 +174,43 @@ class EfrbMap {
     });
   }
 
+  /// Ordered scan over [lo, hi) via the in-order leaf walk, stopping once
+  /// past hi. The DFS has no key-guided descent, so reaching the range's
+  /// start is O(n); weakly consistent like for_each. Fine for differential
+  /// tests; use the lo trees or the skiplist when range cost matters.
+  template <typename F>
+  void range(const K& lo, const K& hi, F&& fn) const {
+    if (!comp_(lo, hi)) return;
+    auto g = domain_->guard();
+    visit_in_order(root_, [&](const Node* leaf) {
+      if (comp_(leaf->key, lo)) return true;    // below the range
+      if (!comp_(leaf->key, hi)) return false;  // past the range: stop
+      fn(leaf->key, leaf->value);
+      return true;
+    });
+  }
+
+  std::optional<std::pair<K, V>> first_in_range(const K& lo,
+                                                const K& hi) const {
+    if (!comp_(lo, hi)) return std::nullopt;
+    auto g = domain_->guard();
+    std::optional<std::pair<K, V>> out;
+    visit_in_order(root_, [&](const Node* leaf) {
+      if (comp_(leaf->key, lo)) return true;
+      if (comp_(leaf->key, hi)) out = std::make_pair(leaf->key, leaf->value);
+      return false;  // first leaf at/above lo settles it either way
+    });
+    return out;
+  }
+
+  std::optional<std::pair<K, V>> last_in_range(const K& lo,
+                                               const K& hi) const {
+    std::optional<std::pair<K, V>> out;
+    range(lo, hi,
+          [&out](const K& k, const V& v) { out = std::make_pair(k, v); });
+    return out;
+  }
+
   std::size_t size_slow() const {
     std::size_t n = 0;
     for_each([&n](const K&, const V&) { ++n; });

@@ -232,6 +232,54 @@ class SkipListMap {
     }
   }
 
+  /// Lock-free ordered scan over [lo, hi): one tower descent to the first
+  /// bottom-level node >= lo, then a bottom-level walk — O(log n +
+  /// |range|), the same asymptotics as the trees' range. Weakly consistent
+  /// per key, like contains: every reported key was present at some
+  /// instant during the walk, no atomic snapshot of the range.
+  template <typename F>
+  void range(const K& lo, const K& hi, F&& fn) const {
+    if (!comp_(lo, hi)) return;
+    auto g = domain_->guard();
+    Node* node = first_not_less(lo);
+    while (node->sentinel != Sentinel::kTail && comp_(node->key, hi)) {
+      if (!node->marked.load(std::memory_order_acquire) &&
+          !comp_(node->key, lo)) {
+        fn(node->key, node->value);
+      }
+      node = unpack(node->next[0].load(std::memory_order_acquire));
+    }
+  }
+
+  /// Smallest present key in [lo, hi): the descent plus as many bottom
+  /// hops as there are marked nodes at the range's start.
+  std::optional<std::pair<K, V>> first_in_range(const K& lo,
+                                                const K& hi) const {
+    if (!comp_(lo, hi)) return std::nullopt;
+    auto g = domain_->guard();
+    Node* node = first_not_less(lo);
+    while (node->sentinel != Sentinel::kTail && comp_(node->key, hi)) {
+      if (!node->marked.load(std::memory_order_acquire) &&
+          !comp_(node->key, lo)) {
+        return std::make_pair(node->key, node->value);
+      }
+      node = unpack(node->next[0].load(std::memory_order_acquire));
+    }
+    return std::nullopt;
+  }
+
+  /// Largest present key in [lo, hi). The list has no back pointers, so
+  /// this walks the whole range keeping the last hit — O(log n + |range|),
+  /// unlike the trees' O(log n + skipped) pred-walk.
+  std::optional<std::pair<K, V>> last_in_range(const K& lo,
+                                               const K& hi) const {
+    std::optional<std::pair<K, V>> best;
+    range(lo, hi, [&best](const K& k, const V& v) {
+      best = std::make_pair(k, v);
+    });
+    return best;
+  }
+
   std::size_t size_slow() const {
     std::size_t n = 0;
     for_each([&n](const K&, const V&) { ++n; });
@@ -287,6 +335,32 @@ class SkipListMap {
     int level = 1;
     while ((r >> level) & 1 && level < kMaxLevel) ++level;
     return level;
+  }
+
+  /// Read-only tower descent (the contains() traversal, kept as a helper
+  /// for the range scans): returns the first bottom-level node with key
+  /// >= k — possibly marked, possibly the tail sentinel — skipping over
+  /// marked nodes without snipping them.
+  Node* first_not_less(const K& k) const {
+    Node* pred = head_;
+    Node* curr = nullptr;
+    for (int i = kMaxLevel - 1; i >= 0; --i) {
+      curr = unpack(pred->next[i].load(std::memory_order_acquire));
+      for (;;) {
+        std::uintptr_t nxt = curr->next[i].load(std::memory_order_acquire);
+        while (is_marked(nxt)) {
+          curr = unpack(nxt);
+          nxt = curr->next[i].load(std::memory_order_acquire);
+        }
+        if (node_less(curr, k)) {
+          pred = curr;
+          curr = unpack(nxt);
+        } else {
+          break;
+        }
+      }
+    }
+    return curr;
   }
 
   /// Harris find: locates the window (preds[i], succs[i]) at each level,

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "sync/cacheline.hpp"
@@ -59,6 +60,7 @@ class HistoryRecorder {
   /// One writer thread's log. Owner-thread access only while recording.
   struct alignas(sync::kCacheLineSize) ThreadLog {
     std::vector<Event<K>> events;  // size() < capacity(); never reallocates
+    std::vector<K> scan_scratch;   // record_scan's key buffer, reused
     bool overflow = false;
 
     void push(const Event<K>& e) {
@@ -94,6 +96,49 @@ class HistoryRecorder {
     logs_[tid].push(Event<K>{t0, t1, key, op, result,
                              static_cast<std::uint16_t>(tid)});
     return result;
+  }
+
+  /// Runs a range scan as thread `tid`'s next operation and records its
+  /// observations. `scan_fn(lo, hi, sink)` must perform the scan, calling
+  /// sink(key, value) for every reported key in ascending order.
+  ///
+  /// Soundness of the decomposition (integral K only — it enumerates the
+  /// range): a weakly-consistent scan over [lo, hi) is not atomic over the
+  /// range, so it cannot be checked as one event. But the ordered
+  /// implementations justify each per-key verdict at the instant the walk
+  /// passes that key's position (DESIGN.md §11): every reported key was
+  /// present at some point within the scan's [t0, t1] window, and every
+  /// in-range key not reported was absent at some point within it. Those
+  /// are exactly the semantics of a contains invoked somewhere inside
+  /// [t0, t1] — so the scan decomposes into one kContains observation per
+  /// key of the range (true for reported keys, false for the rest), all
+  /// sharing the scan's window, and the per-key linearization search
+  /// places each independently. No cross-key atomicity is asserted, which
+  /// matches the guarantee the scans document. A scan that reports a key
+  /// that was never in the map, misses a key that was present throughout,
+  /// or resurrects a removed key still renders the history
+  /// non-linearizable.
+  template <typename ScanFn>
+  void record_scan(unsigned tid, const K& lo, const K& hi,
+                   ScanFn&& scan_fn) {
+    static_assert(std::is_integral_v<K>,
+                  "scan decomposition enumerates every key in [lo, hi)");
+    auto& log = logs_[tid];
+    auto& seen = log.scan_scratch;
+    seen.clear();
+    const std::uint64_t t0 = tick();
+    scan_fn(lo, hi,
+            [&seen](const K& k, const auto&) { seen.push_back(k); });
+    const std::uint64_t t1 = tick();
+    // The scans report strictly increasing keys; the sweep below only
+    // assumes sortedness (and skips stray duplicates defensively).
+    std::size_t idx = 0;
+    for (K k = lo; k < hi; ++k) {
+      while (idx < seen.size() && seen[idx] < k) ++idx;
+      const bool present = idx < seen.size() && seen[idx] == k;
+      log.push(Event<K>{t0, t1, k, Op::kContains, present,
+                        static_cast<std::uint16_t>(tid)});
+    }
   }
 
   bool overflowed() const {

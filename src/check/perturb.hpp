@@ -38,6 +38,7 @@ enum class PerturbPoint : std::uint8_t {
   kEraseBeforeTreeUnlink,    // off the ordering chain, still in the tree layout
   kRelocateDetached,         // two-child removal: successor absent from the tree
   kRotate,                   // a rotation is about to swing child pointers
+  kRangeStep,                // a range scan is mid-walk on the ordering chain
   kCount
 };
 
@@ -54,6 +55,7 @@ inline const char* perturb_point_name(PerturbPoint p) {
     case PerturbPoint::kEraseBeforeTreeUnlink: return "erase-before-tree-unlink";
     case PerturbPoint::kRelocateDetached: return "relocate-detached";
     case PerturbPoint::kRotate: return "rotate";
+    case PerturbPoint::kRangeStep: return "range-step";
     default: return "?";
   }
 }

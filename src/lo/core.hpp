@@ -1,0 +1,913 @@
+// The shared engine of the logical-ordering trees (paper Algorithms 1–10):
+// one implementation of the two-layer protocol — lock-free search + ordering
+// walk, succ-lock interval acquisition, insert linking, removal unlinking,
+// and the ordered read layer built on the pred/succ chain — parameterized by
+//
+//   * `Balanced`       — AVL height maintenance + relaxed rebalancing
+//                        (§4.1–4.5) vs the plain BST of §4.6;
+//   * `Alloc`          — the node allocation policy (reclaim/pool.hpp);
+//   * `RemovalPolicy`  — on-time deletion (OnTimeRemoval, §3.3: a removal
+//                        physically unlinks the node before returning, two-
+//                        children removals relocate the successor) vs the
+//                        partially-external "logical removing" variation
+//                        (LogicalRemoving, §6: a two-children removal only
+//                        flags the node `deleted`, a later insert of the
+//                        same key revives it in place, and physical removal
+//                        happens opportunistically once the child count
+//                        drops);
+//   * `NodeTmpl`       — the node layout (lo/node.hpp; bench/ablation_alloc
+//                        substitutes the pre-PR packed layout).
+//
+// `LoMap` (lo/map.hpp) and `PartialMap` (lo/partial.hpp) are thin
+// instantiations of this class; they add nothing but a name.
+//
+// Properties reproduced from the paper:
+//  * contains / get are lock-free and never restart: one tree descent that
+//    tolerates concurrent rotations/relocations, then a pred/succ walk over
+//    the logical ordering to reach a verdict (§3.2, Algorithms 1–2);
+//  * ordered access (min/max/for_each/range/next/prev/cursor) reuses the
+//    same chain, so every ordered read is lock-free as well (§4.7). Range
+//    scans are weakly consistent *per key*: see range() and DESIGN.md §11;
+//  * two-layer locking: per-node succ_lock over the ordering intervals,
+//    per-node tree_lock over the physical layout, acquired in the global
+//    order of §5.1 (succ locks first, ascending by key; tree locks
+//    bottom-up; against-order acquisitions use try_lock + restart).
+//
+// Deviations from the paper's *pseudocode* (not its algorithm), documented
+// in DESIGN.md §"pseudocode errata":
+//  * Algorithms 3/7 line 3 read `node.key > k ? node.pred : node`; when
+//    search returns the node with key k this selects a predecessor whose
+//    interval can never contain k and the operation would restart forever.
+//    The predecessor candidate must be chosen for `node.key >= k`.
+//  * choose_parent may fall back to the predecessor, but the -inf sentinel
+//    is never a physical parent (it is outside the tree layout, §4.1), so
+//    the fallback skips to the successor in that case.
+//  * Algorithm 2's ordering walk needs a third loop — back off marked
+//    nodes via pred before walking succ — or a lookup that lands on a
+//    removed-but-not-yet-tree-unlinked node with the sought key misses a
+//    concurrently re-inserted key (stale-duplicate shadowing; see locate()
+//    and DESIGN.md). The verified plankton model of this structure carries
+//    the same loop.
+//
+// Instrumentation: the race windows this algorithm tolerates (node in the
+// ordering layout but not the tree, marked but not yet unlinked, successor
+// mid-relocation, a scan mid-walk) carry named check::perturb_point()
+// hooks. They compile to nothing unless the translation unit defines
+// LOT_SCHEDULE_PERTURB; the stress harness under tests/stress/ builds with
+// it to widen those windows. LOT_INJECT_BUG (negative control for the
+// linearizability checker) breaks locate() into a tree-only lookup —
+// exactly the naive design the logical ordering exists to fix — so
+// perturbed runs yield non-linearizable histories the checker must reject.
+// Fault injection (inject/inject.hpp, LOT_FAULT_INJECT) attacks the
+// resource windows instead: seeded bad_alloc at the insert allocation site
+// and seeded guard stalls in readers and writers.
+//
+// Failure model (DESIGN.md §9): insert offers the strong exception
+// guarantee under allocation failure with either policy. OnTimeRemoval
+// allocates the node *before* any lock is taken; LogicalRemoving allocates
+// lazily (the revive path is allocation-free — the point of the variant)
+// but always with the interval lock dropped, revalidating afterwards.
+// Either way a bad_alloc propagates with no locks held, no node
+// half-linked, and the map unchanged; erase allocates nothing on its own
+// and can only fail inside EbrDomain::retire, which is itself OOM-safe.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "check/perturb.hpp"
+#include "inject/inject.hpp"
+#include "lo/detail.hpp"
+#include "lo/node.hpp"
+#include "lo/rebalance.hpp"
+#include "reclaim/ebr.hpp"
+#include "reclaim/pool.hpp"
+#include "sync/backoff.hpp"
+
+namespace lot::lo {
+
+/// Removal policy of the main algorithm (§3.3): every successful erase
+/// physically unlinks its node before returning, relocating the successor
+/// when the node has two children. Owns no NodeT field beyond `mark`;
+/// values are plain (immutable after publication).
+struct OnTimeRemoval {
+  static constexpr bool kLogicalRemoving = false;
+  static constexpr inject::Site kInsertAllocSite = inject::Site::kLoInsertAlloc;
+};
+
+/// Removal policy of the partially-external variation (§6). Owns the
+/// `deleted` flag and the atomic value slot of PartialNode: a two-children
+/// erase only sets `deleted` (the node stays in both layouts as a zombie),
+/// insert revives a zombie in place by storing the value and clearing
+/// `deleted`, and physical removal happens opportunistically (try_purge /
+/// purge_all) once a zombie drops to at most one child.
+struct LogicalRemoving {
+  static constexpr bool kLogicalRemoving = true;
+  static constexpr inject::Site kInsertAllocSite =
+      inject::Site::kPartialInsertAlloc;
+};
+
+template <typename K, typename V, typename Compare, bool Balanced,
+          typename Alloc, typename RemovalPolicy,
+          template <typename, typename> class NodeTmpl>
+class LoCore {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using alloc_type = Alloc;
+  using removal_policy = RemovalPolicy;
+  using NodeT = NodeTmpl<K, V>;
+
+  static constexpr bool kBalanced = Balanced;
+  static constexpr bool kLogicalRemoving = RemovalPolicy::kLogicalRemoving;
+
+  explicit LoCore(reclaim::EbrDomain& domain =
+                      reclaim::EbrDomain::global_domain(),
+                  Compare comp = Compare())
+      : domain_(&domain), comp_(std::move(comp)) {
+    // Sentinels use the same allocation policy as ordinary nodes and are
+    // destroyed through it, so alloc_stats (and the pool's slot
+    // accounting) balance to zero at teardown.
+    neg_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kNegInf);
+    try {
+      pos_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kPosInf);
+    } catch (...) {
+      Alloc::template destroy<NodeT>(neg_);
+      throw;
+    }
+    neg_->succ.store(pos_, std::memory_order_relaxed);
+    pos_->pred.store(neg_, std::memory_order_relaxed);
+    // The root is the +inf sentinel; -inf lives only in the ordering
+    // layout (paper §4.1). The real tree hangs off root->left.
+    root_ = pos_;
+  }
+
+  ~LoCore() {
+    // At destruction no operations are in flight; every live node is on
+    // the ordering chain (removed nodes were retired to the domain).
+    NodeT* node = neg_;
+    while (node != nullptr) {
+      NodeT* next = node->succ.load(std::memory_order_relaxed);
+      Alloc::template destroy<NodeT>(node);
+      node = next;
+    }
+  }
+
+  LoCore(const LoCore&) = delete;
+  LoCore& operator=(const LoCore&) = delete;
+
+  // ---------------------------------------------------------------- reads
+
+  /// Lock-free membership test (Algorithm 2).
+  bool contains(const K& k) const {
+    auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallReader);
+    const NodeT* node = locate(k);
+    return cmp(node, k) == 0 && is_present(node);
+  }
+
+  /// Lock-free lookup; empty if the key is absent.
+  std::optional<V> get(const K& k) const {
+    auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallReader);
+    const NodeT* node = locate(k);
+    if (cmp(node, k) != 0) return std::nullopt;
+    // Read the value before re-checking presence so (logical removing) a
+    // racing revive cannot hand us a value newer than the presence
+    // decision; with on-time removal values are immutable and the order is
+    // immaterial.
+    const V v = read_value(node);
+    if (!is_present(node)) return std::nullopt;
+    return v;
+  }
+
+  /// Smallest present key (paper §4.7): walk the chain from -inf past
+  /// nodes that lost a race with a concurrent remove (or, logical
+  /// removing, past zombies).
+  std::optional<std::pair<K, V>> min() const {
+    auto g = domain_->guard();
+    const NodeT* node = neg_->succ.load(std::memory_order_acquire);
+    while (node != pos_) {
+      const V v = read_value(node);
+      if (is_present(node)) return std::make_pair(node->key, v);
+      node = node->succ.load(std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::pair<K, V>> max() const {
+    auto g = domain_->guard();
+    const NodeT* node = pos_->pred.load(std::memory_order_acquire);
+    while (node != neg_) {
+      const V v = read_value(node);
+      if (is_present(node)) return std::make_pair(node->key, v);
+      node = node->pred.load(std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+  /// Ascending, weakly consistent iteration over the logical ordering
+  /// (paper §4.7): sees every key present for the whole iteration, may or
+  /// may not see concurrent updates.
+  template <typename F>
+  void for_each(F&& fn) const {
+    auto g = domain_->guard();
+    const NodeT* node = neg_->succ.load(std::memory_order_acquire);
+    while (node != pos_) {
+      const V v = read_value(node);
+      if (is_present(node)) fn(node->key, v);
+      node = node->succ.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Lock-free ordered range scan over [lo, hi): descends once to the
+  /// range's start, then walks the succ chain — O(log n + |range|) instead
+  /// of a full iteration, with no locks and no restarts, like contains.
+  ///
+  /// Consistency guarantee (DESIGN.md §11): the scan is weakly consistent
+  /// *per key*, not atomic over the range. Every key it reports was
+  /// present at some instant within the scan's own interval, every in-range
+  /// key it skips was absent at some instant within that interval (each
+  /// verdict is justified at the instant the walk passes that key's chain
+  /// position — the mark/deleted store is the remove's linearization
+  /// point), and reported keys are strictly increasing. Keys inserted or
+  /// removed mid-scan may or may not appear; a snapshot over the whole
+  /// range is deliberately not offered.
+  template <typename F>
+  void range(const K& lo, const K& hi, F&& fn) const {
+    if (!comp_(lo, hi)) return;
+    auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallReader);
+    const NodeT* node = locate(lo);  // first node with key >= lo
+    while (node != pos_ &&
+           (node->tag == Tag::kNegInf || comp_(node->key, hi))) {
+      check::perturb_point(check::PerturbPoint::kRangeStep);
+      if (node->tag == Tag::kNormal && !comp_(node->key, lo)) {
+        const V v = read_value(node);
+        if (is_present(node)) fn(node->key, v);
+      }
+      node = node->succ.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Smallest present key in [lo, hi), or empty. Same consistency
+  /// guarantee as range().
+  std::optional<std::pair<K, V>> first_in_range(const K& lo,
+                                                const K& hi) const {
+    if (!comp_(lo, hi)) return std::nullopt;
+    auto g = domain_->guard();
+    const NodeT* node = locate(lo);
+    while (node != pos_ &&
+           (node->tag == Tag::kNegInf || comp_(node->key, hi))) {
+      if (node->tag == Tag::kNormal && !comp_(node->key, lo)) {
+        const V v = read_value(node);
+        if (is_present(node)) return std::make_pair(node->key, v);
+      }
+      node = node->succ.load(std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+  /// Largest present key in [lo, hi), or empty: locate the range's end,
+  /// then walk pred — O(log n + skipped) instead of scanning the whole
+  /// range. Same consistency guarantee as range().
+  std::optional<std::pair<K, V>> last_in_range(const K& lo,
+                                               const K& hi) const {
+    if (!comp_(lo, hi)) return std::nullopt;
+    auto g = domain_->guard();
+    const NodeT* node = locate(hi);  // first node with key >= hi
+    while (node != neg_) {
+      if (node->tag == Tag::kNormal) {
+        if (comp_(node->key, lo)) break;  // walked below the range
+        if (comp_(node->key, hi)) {
+          const V v = read_value(node);
+          if (is_present(node)) return std::make_pair(node->key, v);
+        }
+      }
+      node = node->pred.load(std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+  /// Smallest present key strictly greater than k (lock-free, one descent
+  /// plus succ hops — the logical ordering makes successor queries O(1)
+  /// from a located node, paper §3.1).
+  std::optional<std::pair<K, V>> next(const K& k) const {
+    auto g = domain_->guard();
+    const NodeT* node = locate(k);  // first node with key >= k
+    if (cmp(node, k) == 0) node = node->succ.load(std::memory_order_acquire);
+    while (node != pos_) {
+      const V v = read_value(node);
+      if (node->tag == Tag::kNormal && is_present(node) &&
+          comp_(k, node->key)) {
+        return std::make_pair(node->key, v);
+      }
+      node = node->succ.load(std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+  /// Largest present key strictly smaller than k (mirror of next()).
+  std::optional<std::pair<K, V>> prev(const K& k) const {
+    auto g = domain_->guard();
+    const NodeT* node = locate(k);
+    while (node != neg_) {
+      const V v = read_value(node);
+      if (node->tag == Tag::kNormal && is_present(node) &&
+          comp_(node->key, k)) {
+        return std::make_pair(node->key, v);
+      }
+      node = node->pred.load(std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+  /// Ordered cursor over the logical ordering (paper §4.7's first()/
+  /// next(node) iteration): each advance is one succ hop, O(1), instead of
+  /// a fresh descent. The cursor pins a reclamation epoch for its entire
+  /// lifetime — keep cursors short-lived on update-heavy maps, or retired
+  /// nodes pile up behind the pinned epoch.
+  class Cursor {
+   public:
+    /// Yields the next present key in ascending order, or empty at the
+    /// end. Weakly consistent, like for_each.
+    std::optional<std::pair<K, V>> next() {
+      if (node_ == map_->pos_) return std::nullopt;  // stay exhausted
+      const NodeT* n = node_->succ.load(std::memory_order_acquire);
+      while (n != map_->pos_) {
+        const V v = read_value(n);
+        if (is_present(n)) {
+          node_ = n;
+          return std::make_pair(n->key, v);
+        }
+        n = n->succ.load(std::memory_order_acquire);
+      }
+      node_ = n;
+      return std::nullopt;
+    }
+
+   private:
+    explicit Cursor(const LoCore& m)
+        : guard_(m.domain_->guard()), map_(&m), node_(m.neg_) {}
+    reclaim::EbrDomain::Guard guard_;
+    const LoCore* map_;
+    const NodeT* node_;
+    friend class LoCore;
+  };
+
+  /// A cursor positioned before the smallest key.
+  Cursor cursor() const { return Cursor(*this); }
+
+  /// O(n) size via the ordering chain; exact at quiescence.
+  std::size_t size_slow() const {
+    std::size_t n = 0;
+    for_each([&n](const K&, const V&) { ++n; });
+    return n;
+  }
+
+  /// Nodes on the ordering chain, present or not. With logical removing
+  /// this includes deleted ("zombie") nodes — the memory-footprint metric
+  /// of ablation A2; with on-time removal it can transiently exceed
+  /// size_slow() only by nodes mid-unlink.
+  std::size_t physical_nodes_slow() const {
+    auto g = domain_->guard();
+    std::size_t n = 0;
+    const NodeT* node = neg_->succ.load(std::memory_order_acquire);
+    while (node != pos_) {
+      ++n;
+      node = node->succ.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  bool empty() const {
+    auto g = domain_->guard();
+    const NodeT* node = neg_->succ.load(std::memory_order_acquire);
+    while (node != pos_) {
+      if (is_present(node)) return false;
+      node = node->succ.load(std::memory_order_acquire);
+    }
+    return true;
+  }
+
+  // -------------------------------------------------------------- updates
+
+  /// Insert-if-absent (Algorithm 3). Returns false if the key is present.
+  /// With logical removing, inserting over a zombie revives it in place
+  /// (allocation-free) and returns true.
+  ///
+  /// Allocation failure (std::bad_alloc) offers the strong guarantee with
+  /// either policy; see the header comment for the per-policy discipline.
+  bool insert(const K& k, const V& v) {
+    auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallWriter);
+    NodeT* nn = nullptr;
+    if constexpr (!kLogicalRemoving) {
+      // Allocate before any lock acquisition or retry, so a throw leaves
+      // the map untouched with no locks held.
+      inject::throw_if_alloc_fault(RemovalPolicy::kInsertAllocSite);
+      nn = Alloc::template create<NodeT>(k, v);
+    }
+    for (;;) {
+      NodeT* node = search(k);
+      NodeT* p = cmp(node, k) >= 0
+                     ? node->pred.load(std::memory_order_acquire)
+                     : node;
+      p->succ_lock.lock();
+      NodeT* s = p->succ.load(std::memory_order_relaxed);
+      if (cmp(p, k) < 0 && cmp(s, k) >= 0 &&
+          !p->mark.load(std::memory_order_acquire)) {
+        if (cmp(s, k) == 0) {
+          // Physically present.
+          if constexpr (kLogicalRemoving) {
+            if (s->deleted.load(std::memory_order_acquire)) {
+              // Revive in place: value first, then the presence flip.
+              s->value.store(v, std::memory_order_relaxed);
+              s->deleted.store(false, std::memory_order_release);
+              p->succ_lock.unlock();
+              if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
+              return true;
+            }
+          }
+          p->succ_lock.unlock();
+          if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
+          return false;  // unsuccessful insert
+        }
+        if constexpr (kLogicalRemoving) {
+          if (nn == nullptr) {
+            // Key absent, so a node is needed — but never allocate while
+            // holding the interval lock (the revive path must stay
+            // allocation-free). Drop it, allocate, revalidate.
+            p->succ_lock.unlock();
+            inject::throw_if_alloc_fault(RemovalPolicy::kInsertAllocSite);
+            nn = Alloc::template create<NodeT>(k, v);
+            continue;
+          }
+        }
+        NodeT* parent = choose_parent(p, s, node);
+        nn->succ.store(s, std::memory_order_relaxed);
+        nn->pred.store(p, std::memory_order_relaxed);
+        nn->parent.store(parent, std::memory_order_relaxed);
+        // Linearization point of a successful insert (§5.2). The succ link
+        // must be published *first*: succ pointers are the authoritative
+        // chain, and pred pointers are only repair hints that the ordering
+        // walk always re-validates by walking succ afterwards. Storing
+        // s->pred before p->succ lets a pred-walking reader observe nn
+        // before this linearization point while a succ-walking reader still
+        // misses it — a real-time inversion the perturbed stress harness
+        // caught as a non-linearizable history (contains(k)=true then
+        // contains(k)=false with only this insert in flight). The verified
+        // plankton model orders the stores the same way as below.
+        p->succ.store(nn, std::memory_order_release);
+        check::perturb_point(check::PerturbPoint::kInsertHalfLinked);
+        s->pred.store(nn, std::memory_order_release);
+        p->succ_lock.unlock();
+        check::perturb_point(check::PerturbPoint::kInsertBeforeTreeLink);
+        insert_to_tree(parent, nn);
+        return true;
+      }
+      p->succ_lock.unlock();  // validation failed; restart
+    }
+  }
+
+  /// Remove-if-present (Algorithm 7). OnTimeRemoval physically unlinks the
+  /// node before returning (two-children removals relocate the successor,
+  /// §3.3); LogicalRemoving downgrades a two-children removal to flipping
+  /// `deleted` and purges opportunistically. Allocates no node of its own;
+  /// the only allocation is the retire-list bookkeeping inside
+  /// EbrDomain::retire, which is OOM-safe (DESIGN.md §9).
+  bool erase(const K& k) {
+    auto g = domain_->guard();
+    inject::stall_point(inject::Site::kGuardStallWriter);
+    for (;;) {
+      NodeT* node = search(k);
+      NodeT* p = cmp(node, k) >= 0
+                     ? node->pred.load(std::memory_order_acquire)
+                     : node;
+      p->succ_lock.lock();
+      NodeT* s = p->succ.load(std::memory_order_relaxed);
+      if (cmp(p, k) < 0 && cmp(s, k) >= 0 &&
+          !p->mark.load(std::memory_order_acquire)) {
+        bool absent = cmp(s, k) > 0;
+        if constexpr (kLogicalRemoving) {
+          absent = absent || s->deleted.load(std::memory_order_acquire);
+        }
+        if (absent) {
+          p->succ_lock.unlock();
+          return false;  // unsuccessful remove
+        }
+        // Successful removal of s. Succ locks strictly precede tree locks
+        // (paper §5.1): take s's interval lock, then the tree locks.
+        s->succ_lock.lock();
+        NodeT* np = nullptr;
+        NodeT* child = nullptr;
+        const RemovalShape shape = acquire_removal_locks(s, np, child);
+        if constexpr (kLogicalRemoving) {
+          if (shape == RemovalShape::kTwoChildren) {
+            // Logical removal only: s stays in both layouts as a zombie.
+            // This store is the linearization point (§6).
+            s->deleted.store(true, std::memory_order_release);
+            s->succ_lock.unlock();
+            p->succ_lock.unlock();
+            return true;
+          }
+        }
+        unlink_from_chain(p, s);
+        check::perturb_point(check::PerturbPoint::kEraseBeforeTreeUnlink);
+        if (shape == RemovalShape::kOneChild) {
+          unlink_node(s, np, child);
+        } else {
+          if constexpr (!kLogicalRemoving) relocate_successor(s);
+        }
+        domain_->template retire_via<Alloc>(s);
+        if constexpr (kLogicalRemoving) {
+          // Opportunistic purge (paper: deleted nodes become physically
+          // removable when their child count drops): np may now qualify.
+          try_purge(np);
+        }
+        return true;
+      }
+      p->succ_lock.unlock();  // validation failed; restart
+    }
+  }
+
+  /// Quiescent cleanup (logical removing only): physically remove every
+  /// deleted node that has at most one child, repeating until a fixpoint.
+  /// Exposed for tests and the zombie ablation; concurrent-safe but
+  /// intended for quiet periods.
+  std::size_t purge_all()
+    requires(RemovalPolicy::kLogicalRemoving)
+  {
+    std::size_t purged = 0;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      auto g = domain_->guard();
+      NodeT* node = neg_->succ.load(std::memory_order_acquire);
+      while (node != pos_) {
+        NodeT* next = node->succ.load(std::memory_order_acquire);
+        if (node->deleted.load(std::memory_order_acquire) &&
+            try_purge(node)) {
+          ++purged;
+          progress = true;
+        }
+        node = next;
+      }
+    }
+    return purged;
+  }
+
+  // ---------------------------------------------------- introspection API
+  // Used by lo/validate.hpp and the white-box tests; not part of the map
+  // interface proper.
+
+  NodeT* debug_root() const { return root_; }
+  NodeT* debug_neg_sentinel() const { return neg_; }
+  NodeT* debug_pos_sentinel() const { return pos_; }
+  reclaim::EbrDomain& domain() const { return *domain_; }
+  Compare key_comp() const { return comp_; }
+
+ private:
+  /// The one presence predicate. OnTimeRemoval owns only `mark` (off the
+  /// ordering chain == removed); LogicalRemoving additionally owns
+  /// `deleted` (on the chain but logically absent).
+  static bool is_present(const NodeT* n) {
+    if (n->mark.load(std::memory_order_acquire)) return false;
+    if constexpr (kLogicalRemoving) {
+      if (n->deleted.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  }
+
+  /// The one value read. LogicalRemoving stores values in an atomic slot
+  /// (revive races with lock-free reads); OnTimeRemoval values are plain
+  /// and immutable after publication.
+  static V read_value(const NodeT* n) {
+    if constexpr (kLogicalRemoving) {
+      return n->value.load(std::memory_order_acquire);
+    } else {
+      return n->value;
+    }
+  }
+
+  // Three-way comparison of a node against a key, sentinel-aware:
+  // negative if node < k, zero if equal, positive if node > k.
+  int cmp(const NodeT* n, const K& k) const {
+    if (n->tag != Tag::kNormal) return n->tag == Tag::kNegInf ? -1 : 1;
+    if (comp_(n->key, k)) return -1;
+    if (comp_(k, n->key)) return 1;
+    return 0;
+  }
+
+  /// Algorithm 1: plain descent, no locks, no restarts. May stray from its
+  /// path under concurrent rotations; the ordering walk compensates.
+  NodeT* search(const K& k) const {
+    NodeT* node = root_;
+    for (;;) {
+      const int c = cmp(node, k);
+      if (c == 0) return node;
+      NodeT* child = c < 0 ? node->right.load(std::memory_order_acquire)
+                           : node->left.load(std::memory_order_acquire);
+      if (child == nullptr) return node;
+      node = child;
+    }
+  }
+
+  /// Algorithm 2's ordering walk: from wherever search ended, walk pred
+  /// until at or below k, then succ until at or above k. Terminates
+  /// because keys strictly decrease/increase along the walks (removed
+  /// nodes keep their outgoing pointers; EBR keeps them alive).
+  const NodeT* locate(const K& k) const {
+    const NodeT* node = search(k);
+    check::perturb_point(check::PerturbPoint::kLocateAfterDescent);
+#if defined(LOT_INJECT_BUG)
+    // Intentionally broken linearization (checker negative control): trust
+    // the physical descent alone. A key that momentarily lives only in the
+    // ordering layout — mid-insert, or a successor detached during a
+    // two-child removal — is reported absent even though it was inserted
+    // long ago, which no linearization of the history can explain.
+    return node;
+#else
+    while (cmp(node, k) > 0) {
+      node = node->pred.load(std::memory_order_acquire);
+    }
+    // Back off marked nodes before walking forward. Without this a search
+    // can land on a *stale duplicate*: a removed-but-not-yet-unlinked-from-
+    // the-tree node with key == k, while a re-inserted k lives elsewhere on
+    // the chain — the walk below would never move and the lookup would miss
+    // a present key. (DESIGN.md pseudocode errata; the verified variant in
+    // Wolff's plankton examples carries the same extra loop. Found by the
+    // schedule-perturbed linearizability harness, tests/stress/.) Marked
+    // nodes keep pred pointers to strictly smaller keys and -inf is never
+    // marked, so this terminates. (`deleted` zombies stay on the chain and
+    // are NOT backed off — presence is the caller's verdict.)
+    while (node->mark.load(std::memory_order_acquire)) {
+      node = node->pred.load(std::memory_order_acquire);
+    }
+    while (cmp(node, k) < 0) {
+      node = node->succ.load(std::memory_order_acquire);
+    }
+    return node;
+#endif
+  }
+
+  /// Algorithm 4. Requires p's succ_lock held (so neither candidate can be
+  /// removed from under us). Returns the chosen parent, tree-locked.
+  NodeT* choose_parent(NodeT* p, NodeT* s, NodeT* first_cand) {
+    NodeT* candidate = (first_cand == p || first_cand == s) ? first_cand : p;
+    if (candidate == neg_) candidate = s;  // -inf never parents a node
+    for (;;) {
+      candidate->tree_lock.lock();
+      if (candidate == p) {
+        if (candidate->right.load(std::memory_order_relaxed) == nullptr) {
+          return candidate;
+        }
+        candidate->tree_lock.unlock();
+        candidate = s;
+      } else {
+        if (candidate->left.load(std::memory_order_relaxed) == nullptr) {
+          return candidate;
+        }
+        candidate->tree_lock.unlock();
+        candidate = (p == neg_) ? s : p;
+      }
+    }
+  }
+
+  /// Algorithm 5. Requires parent tree-locked; consumes that lock.
+  void insert_to_tree(NodeT* parent, NodeT* nn) {
+    const bool to_right = cmp(parent, nn->key) < 0;
+    if (to_right) {
+      parent->right.store(nn, std::memory_order_release);
+      if constexpr (Balanced) {
+        parent->right_height.store(1, std::memory_order_relaxed);
+      }
+    } else {
+      parent->left.store(nn, std::memory_order_release);
+      if constexpr (Balanced) {
+        parent->left_height.store(1, std::memory_order_relaxed);
+      }
+    }
+    if constexpr (Balanced) {
+      if (parent == root_) {
+        // The new node hangs directly off the +inf sentinel; there is
+        // nothing above it to rebalance (the sentinel has no parent).
+        parent->tree_lock.unlock();
+        return;
+      }
+      NodeT* grandparent = detail::lock_parent(parent);
+      detail::rebalance(
+          root_, grandparent, parent,
+          grandparent->left.load(std::memory_order_relaxed) == parent);
+    } else {
+      parent->tree_lock.unlock();
+    }
+  }
+
+  enum class RemovalShape { kOneChild, kTwoChildren };
+
+  /// Algorithm 8, the one definition of removal tree-lock acquisition for
+  /// both policies. Requires n's succ_lock (and its predecessor's) held,
+  /// so n cannot be removed and n->succ cannot change. Determines how many
+  /// children n has, then:
+  ///  * at most one child (either policy): additionally tree-locks n, its
+  ///    parent and the child; np/child are out-parameters;
+  ///  * two children, OnTimeRemoval: tree-locks everything the successor
+  ///    relocation will touch — n, n's parent, n's successor, the
+  ///    successor's parent and the successor's right child;
+  ///  * two children, LogicalRemoving: releases every tree lock — the
+  ///    caller only flips `deleted`.
+  /// Locks taken downward are against the bottom-up order, so they are
+  /// try_lock + full restart (paper §5.1), with a pause between retries:
+  /// the holder of a failed try_lock target may be blocked on a lock we
+  /// hold, and on a uniprocessor an immediate retry never lets it run
+  /// (see restart_balance in lo/rebalance.hpp).
+  RemovalShape acquire_removal_locks(NodeT* n, NodeT*& np, NodeT*& child) {
+    sync::Backoff backoff;
+    for (;;) {
+      backoff.pause();
+      n->tree_lock.lock();
+      np = detail::lock_parent(n);
+
+      NodeT* r = n->right.load(std::memory_order_relaxed);
+      NodeT* l = n->left.load(std::memory_order_relaxed);
+      if (r == nullptr || l == nullptr) {
+        child = r != nullptr ? r : l;
+        if (child != nullptr && !child->tree_lock.try_lock()) {
+          np->tree_lock.unlock();
+          n->tree_lock.unlock();
+          continue;
+        }
+        return RemovalShape::kOneChild;
+      }
+
+      if constexpr (kLogicalRemoving) {
+        np->tree_lock.unlock();
+        n->tree_lock.unlock();
+        return RemovalShape::kTwoChildren;
+      } else {
+        // Two children: lock the successor machinery.
+        NodeT* s = n->succ.load(std::memory_order_relaxed);
+        NodeT* sp = s->parent.load(std::memory_order_acquire);
+        bool sp_locked = false;
+        if (sp != n) {
+          if (!sp->tree_lock.try_lock()) {
+            np->tree_lock.unlock();
+            n->tree_lock.unlock();
+            continue;
+          }
+          if (sp != s->parent.load(std::memory_order_acquire) ||
+              sp->mark.load(std::memory_order_acquire)) {
+            sp->tree_lock.unlock();
+            np->tree_lock.unlock();
+            n->tree_lock.unlock();
+            continue;
+          }
+          sp_locked = true;
+        }
+        if (!s->tree_lock.try_lock()) {
+          if (sp_locked) sp->tree_lock.unlock();
+          np->tree_lock.unlock();
+          n->tree_lock.unlock();
+          continue;
+        }
+        NodeT* sr = s->right.load(std::memory_order_relaxed);
+        if (sr != nullptr && !sr->tree_lock.try_lock()) {
+          s->tree_lock.unlock();
+          if (sp_locked) sp->tree_lock.unlock();
+          np->tree_lock.unlock();
+          n->tree_lock.unlock();
+          continue;
+        }
+        return RemovalShape::kTwoChildren;
+      }
+    }
+  }
+
+  /// The one definition of the ordering-layer unlink: the remove's
+  /// linearization point (the mark store) plus the chain splice. Requires
+  /// p's and s's succ_locks held; consumes both.
+  void unlink_from_chain(NodeT* p, NodeT* s) {
+    // Linearization point of a successful remove (§5.2).
+    s->mark.store(true, std::memory_order_release);
+    check::perturb_point(check::PerturbPoint::kEraseAfterMark);
+    NodeT* s_succ = s->succ.load(std::memory_order_relaxed);
+    s_succ->pred.store(p, std::memory_order_release);
+    check::perturb_point(check::PerturbPoint::kEraseHalfUnlinked);
+    p->succ.store(s_succ, std::memory_order_release);
+    s->succ_lock.unlock();
+    p->succ_lock.unlock();
+  }
+
+  /// The one definition of the one-child physical unlink (Algorithm 9's
+  /// easy case). Requires n, np, child tree-locked (acquire_removal_locks'
+  /// kOneChild outcome); consumes all of them.
+  void unlink_node(NodeT* n, NodeT* np, NodeT* child) {
+    const bool was_left = np->left.load(std::memory_order_relaxed) == n;
+    detail::update_child(np, n, child);
+    n->tree_lock.unlock();
+    if constexpr (Balanced) {
+      detail::rebalance(root_, np, child, was_left);
+    } else {
+      if (child != nullptr) child->tree_lock.unlock();
+      np->tree_lock.unlock();
+    }
+  }
+
+  /// Algorithm 9's two-children case (OnTimeRemoval only): relocates n's
+  /// successor into n's place — on-time deletion §3.3. Consumes every tree
+  /// lock taken by acquire_removal_locks' kTwoChildren outcome.
+  void relocate_successor(NodeT* n) {
+    NodeT* np = n->parent.load(std::memory_order_relaxed);
+    NodeT* s = n->succ.load(std::memory_order_relaxed);  // relocation target
+    NodeT* child = s->right.load(std::memory_order_relaxed);
+    NodeT* parent = s->parent.load(std::memory_order_relaxed);
+    // Detach s, then read n's layout: when parent == n this order makes
+    // n->right already point at child, which is exactly s's new right.
+    detail::update_child(parent, s, child);
+    // s is now reachable only through the logical ordering (§3.3) — the
+    // window the paper's lock-free contains is designed to survive.
+    check::perturb_point(check::PerturbPoint::kRelocateDetached);
+    NodeT* nl = n->left.load(std::memory_order_relaxed);
+    NodeT* nr = n->right.load(std::memory_order_relaxed);
+    s->left.store(nl, std::memory_order_release);
+    s->right.store(nr, std::memory_order_release);
+    s->left_height.store(n->left_height.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    s->right_height.store(n->right_height.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    nl->parent.store(s, std::memory_order_release);
+    if (nr != nullptr) nr->parent.store(s, std::memory_order_release);
+    // While s was detached it stayed reachable through the logical
+    // ordering — concurrent lock-free lookups cannot miss it (§3.3).
+    detail::update_child(np, n, s);
+
+    NodeT* rb_node;
+    bool rb_was_left;
+    if (parent == n) {
+      rb_node = s;  // keeps its lock; rebalance starts at s itself
+      rb_was_left = false;  // child replaced s's right subtree
+    } else {
+      s->tree_lock.unlock();
+      rb_node = parent;
+      rb_was_left = true;  // s was the leftmost (left) child of parent
+    }
+    np->tree_lock.unlock();
+    n->tree_lock.unlock();
+    if constexpr (Balanced) {
+      detail::rebalance(root_, rb_node, child, rb_was_left);
+      // Remover's obligation (§4.5): if a concurrent rebalance bailed out
+      // on n's mark, the imbalance migrated to s — fix it here.
+      detail::rebalance_at(root_, s);
+    } else {
+      if (child != nullptr) child->tree_lock.unlock();
+      rb_node->tree_lock.unlock();
+    }
+  }
+
+  /// Best-effort physical removal of a deleted node that may have dropped
+  /// to at most one child (logical removing only). Uses try_lock on the
+  /// interval locks (a purge is an optimization; giving up is always
+  /// safe). Returns true on success.
+  bool try_purge(NodeT* q)
+    requires(RemovalPolicy::kLogicalRemoving)
+  {
+    if (q == nullptr || q->is_sentinel() ||
+        !q->deleted.load(std::memory_order_acquire) ||
+        q->mark.load(std::memory_order_acquire)) {
+      return false;
+    }
+    NodeT* p = q->pred.load(std::memory_order_acquire);
+    if (!p->succ_lock.try_lock()) return false;
+    // Validate: p is still q's predecessor and both are live.
+    if (p->succ.load(std::memory_order_relaxed) != q ||
+        p->mark.load(std::memory_order_acquire) ||
+        !q->deleted.load(std::memory_order_acquire)) {
+      p->succ_lock.unlock();
+      return false;
+    }
+    // Succ lock before tree locks; p < q so blocking respects key order.
+    q->succ_lock.lock();
+    NodeT* np = nullptr;
+    NodeT* child = nullptr;
+    if (acquire_removal_locks(q, np, child) == RemovalShape::kTwoChildren) {
+      q->succ_lock.unlock();
+      p->succ_lock.unlock();
+      return false;  // still two children
+    }
+    unlink_from_chain(p, q);
+    unlink_node(q, np, child);
+    domain_->template retire_via<Alloc>(q);
+    return true;
+  }
+
+  reclaim::EbrDomain* domain_;
+  Compare comp_;
+  NodeT* root_;  // == pos_ (the +inf sentinel)
+  NodeT* neg_;
+  NodeT* pos_;
+};
+
+}  // namespace lot::lo

@@ -1,70 +1,25 @@
 // Concurrent internal BST / relaxed AVL map with explicit logical ordering
-// (the paper's core contribution, Algorithms 1–10; balancing in
-// lo/rebalance.hpp). `Balanced = true` gives the AVL variant of §4.1–4.5,
-// `Balanced = false` the plain BST of §4.6 — the two differ only in height
-// maintenance and rebalancing, exactly as in the paper.
+// (the paper's core contribution, Algorithms 1–10). Since PR 4 the whole
+// two-layer protocol — search/locate, interval locking, linking, physical
+// removal, the ordered read layer — lives in exactly one place, lo/core.hpp,
+// parameterized by a removal policy. LoMap is the OnTimeRemoval
+// instantiation (§3.3: every erase physically unlinks before returning,
+// relocating the successor for two-children nodes); see lo/partial.hpp for
+// the LogicalRemoving variation. `Balanced = true` gives the AVL variant of
+// §4.1–4.5, `Balanced = false` the plain BST of §4.6 — the two differ only
+// in height maintenance and rebalancing, exactly as in the paper.
 //
-// Properties reproduced from the paper:
-//  * contains / get are lock-free and never restart: one tree descent that
-//    tolerates concurrent rotations/relocations, then a pred/succ walk over
-//    the logical ordering to reach a verdict (§3.2, Algorithms 1–2);
-//  * on-time deletion: a removal — even of an internal node with two
-//    children — physically unlinks the node before returning (§3.3);
-//  * two-layer locking: per-node succ_lock over the ordering intervals,
-//    per-node tree_lock over the physical layout, acquired in the global
-//    order of §5.1 (succ locks first, ascending by key; tree locks
-//    bottom-up; against-order acquisitions use try_lock + restart).
-//
-// Deviations from the paper's *pseudocode* (not its algorithm), documented
-// in DESIGN.md §"pseudocode errata":
-//  * Algorithms 3/7 line 3 read `node.key > k ? node.pred : node`; when
-//    search returns the node with key k this selects a predecessor whose
-//    interval can never contain k and the operation would restart forever.
-//    The predecessor candidate must be chosen for `node.key >= k`.
-//  * choose_parent may fall back to the predecessor, but the -inf sentinel
-//    is never a physical parent (it is outside the tree layout, §4.1), so
-//    the fallback skips to the successor in that case.
-//  * Algorithm 2's ordering walk needs a third loop — back off marked
-//    nodes via pred before walking succ — or a lookup that lands on a
-//    removed-but-not-yet-tree-unlinked node with the sought key misses a
-//    concurrently re-inserted key (stale-duplicate shadowing; see locate()
-//    and DESIGN.md). The verified plankton model of this structure carries
-//    the same loop.
-//
-// Instrumentation: the race windows this algorithm tolerates (node in the
-// ordering layout but not the tree, marked but not yet unlinked, successor
-// mid-relocation) carry named check::perturb_point() hooks. They compile to
-// nothing unless the translation unit defines LOT_SCHEDULE_PERTURB; the
-// stress harness under tests/stress/ builds with it to widen those windows.
-// LOT_INJECT_BUG (negative control for the linearizability checker) breaks
-// locate() into a tree-only lookup — exactly the naive design the logical
-// ordering exists to fix — so perturbed runs yield non-linearizable
-// histories the checker must reject. Fault injection (inject/inject.hpp,
-// LOT_FAULT_INJECT) attacks the resource windows instead: seeded bad_alloc
-// at the insert allocation site and seeded guard stalls in readers and
-// writers.
-//
-// Failure model (DESIGN.md §9): insert offers the strong exception
-// guarantee under allocation failure. The node is allocated *before* any
-// lock is taken, so a bad_alloc propagates with no locks held, no node
-// half-linked, and the map unchanged; erase allocates nothing on its own
-// and can only fail inside EbrDomain::retire, which is itself OOM-safe.
+// Algorithm properties, pseudocode errata, perturb/fault instrumentation
+// and the failure model are documented on LoCore (lo/core.hpp) and in
+// DESIGN.md §§8–11.
 #pragma once
 
-#include <cstddef>
 #include <functional>
-#include <optional>
 #include <string_view>
-#include <utility>
 
-#include "check/perturb.hpp"
-#include "inject/inject.hpp"
-#include "lo/detail.hpp"
+#include "lo/core.hpp"
 #include "lo/node.hpp"
-#include "lo/rebalance.hpp"
-#include "reclaim/ebr.hpp"
 #include "reclaim/pool.hpp"
-#include "sync/backoff.hpp"
 
 namespace lot::lo {
 
@@ -77,567 +32,17 @@ template <typename K, typename V, typename Compare = std::less<K>,
           bool Balanced = true,
           typename Alloc = reclaim::DefaultNodeAlloc,
           template <typename, typename> class NodeTmpl = Node>
-class LoMap {
+class LoMap : public LoCore<K, V, Compare, Balanced, Alloc, OnTimeRemoval,
+                            NodeTmpl> {
+  using Base =
+      LoCore<K, V, Compare, Balanced, Alloc, OnTimeRemoval, NodeTmpl>;
+
  public:
-  using key_type = K;
-  using mapped_type = V;
-  using alloc_type = Alloc;
-  using NodeT = NodeTmpl<K, V>;
-
-  explicit LoMap(reclaim::EbrDomain& domain =
-                     reclaim::EbrDomain::global_domain(),
-                 Compare comp = Compare())
-      : domain_(&domain), comp_(std::move(comp)) {
-    // Sentinels use the same allocation policy as ordinary nodes and are
-    // destroyed through it, so alloc_stats (and the pool's slot
-    // accounting) balance to zero at teardown.
-    neg_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kNegInf);
-    try {
-      pos_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kPosInf);
-    } catch (...) {
-      Alloc::template destroy<NodeT>(neg_);
-      throw;
-    }
-    neg_->succ.store(pos_, std::memory_order_relaxed);
-    pos_->pred.store(neg_, std::memory_order_relaxed);
-    // The root is the +inf sentinel; -inf lives only in the ordering
-    // layout (paper §4.1). The real tree hangs off root->left.
-    root_ = pos_;
-  }
-
-  ~LoMap() {
-    // At destruction no operations are in flight; every live node is on
-    // the ordering chain (removed nodes were retired to the domain).
-    NodeT* node = neg_;
-    while (node != nullptr) {
-      NodeT* next = node->succ.load(std::memory_order_relaxed);
-      Alloc::template destroy<NodeT>(node);
-      node = next;
-    }
-  }
-
-  LoMap(const LoMap&) = delete;
-  LoMap& operator=(const LoMap&) = delete;
+  using Base::Base;
 
   static std::string_view name() {
     return Balanced ? "lo-avl" : "lo-bst";
   }
-
-  // ---------------------------------------------------------------- reads
-
-  /// Lock-free membership test (Algorithm 2).
-  bool contains(const K& k) const {
-    auto g = domain_->guard();
-    inject::stall_point(inject::Site::kGuardStallReader);
-    const NodeT* node = locate(k);
-    return cmp(node, k) == 0 && !node->mark.load(std::memory_order_acquire);
-  }
-
-  /// Lock-free lookup; empty if the key is absent.
-  std::optional<V> get(const K& k) const {
-    auto g = domain_->guard();
-    inject::stall_point(inject::Site::kGuardStallReader);
-    const NodeT* node = locate(k);
-    if (cmp(node, k) == 0 && !node->mark.load(std::memory_order_acquire)) {
-      return node->value;
-    }
-    return std::nullopt;
-  }
-
-  /// Smallest key (paper §4.7): one read of -inf's successor, retried only
-  /// if that node lost a race with a concurrent remove.
-  std::optional<std::pair<K, V>> min() const {
-    auto g = domain_->guard();
-    for (;;) {
-      NodeT* m = neg_->succ.load(std::memory_order_acquire);
-      if (m == pos_) return std::nullopt;
-      if (!m->mark.load(std::memory_order_acquire)) {
-        return std::make_pair(m->key, m->value);
-      }
-    }
-  }
-
-  std::optional<std::pair<K, V>> max() const {
-    auto g = domain_->guard();
-    for (;;) {
-      NodeT* m = pos_->pred.load(std::memory_order_acquire);
-      if (m == neg_) return std::nullopt;
-      if (!m->mark.load(std::memory_order_acquire)) {
-        return std::make_pair(m->key, m->value);
-      }
-    }
-  }
-
-  /// Ascending, weakly consistent iteration over the logical ordering
-  /// (paper §4.7): sees every key present for the whole iteration, may or
-  /// may not see concurrent updates.
-  template <typename F>
-  void for_each(F&& fn) const {
-    auto g = domain_->guard();
-    NodeT* node = neg_->succ.load(std::memory_order_acquire);
-    while (node != pos_) {
-      if (!node->mark.load(std::memory_order_acquire)) {
-        fn(node->key, node->value);
-      }
-      node = node->succ.load(std::memory_order_acquire);
-    }
-  }
-
-  /// Lock-free ordered range scan over [lo, hi): descends once to the
-  /// range's start, then walks the succ chain — O(log n + |range|) instead
-  /// of a full iteration. Weakly consistent like for_each.
-  template <typename F>
-  void range(const K& lo, const K& hi, F&& fn) const {
-    if (!comp_(lo, hi)) return;
-    auto g = domain_->guard();
-    const NodeT* node = locate(lo);  // first node with key >= lo
-    while (node != pos_ &&
-           (node->tag == Tag::kNegInf || comp_(node->key, hi))) {
-      if (node->tag == Tag::kNormal &&
-          !node->mark.load(std::memory_order_acquire) &&
-          !comp_(node->key, lo)) {
-        fn(node->key, node->value);
-      }
-      node = node->succ.load(std::memory_order_acquire);
-    }
-  }
-
-  /// Smallest key strictly greater than k (lock-free, one descent plus a
-  /// succ hop — the logical ordering makes successor queries O(1) from a
-  /// located node, paper §3.1).
-  std::optional<std::pair<K, V>> next(const K& k) const {
-    auto g = domain_->guard();
-    for (;;) {
-      const NodeT* node = locate(k);  // first node with key >= k
-      if (cmp(node, k) == 0) {
-        node = node->succ.load(std::memory_order_acquire);
-      }
-      // Skip nodes removed while we look at them.
-      while (node != pos_ && node->mark.load(std::memory_order_acquire)) {
-        node = node->succ.load(std::memory_order_acquire);
-      }
-      if (node == pos_) return std::nullopt;
-      if (node->tag == Tag::kNormal && comp_(k, node->key)) {
-        return std::make_pair(node->key, node->value);
-      }
-      // A concurrent insert slid in below us; re-locate.
-    }
-  }
-
-  /// Ordered cursor over the logical ordering (paper §4.7's first()/
-  /// next(node) iteration): each advance is one succ hop, O(1), instead of
-  /// a fresh descent. The cursor pins a reclamation epoch for its entire
-  /// lifetime — keep cursors short-lived on update-heavy maps, or retired
-  /// nodes pile up behind the pinned epoch.
-  class Cursor {
-   public:
-    /// Yields the next present key in ascending order, or empty at the
-    /// end. Weakly consistent, like for_each.
-    std::optional<std::pair<K, V>> next() {
-      if (node_ == map_->pos_) return std::nullopt;  // stay exhausted
-      const NodeT* n = node_->succ.load(std::memory_order_acquire);
-      while (n != map_->pos_ && n->mark.load(std::memory_order_acquire)) {
-        n = n->succ.load(std::memory_order_acquire);
-      }
-      node_ = n;
-      if (n == map_->pos_) return std::nullopt;
-      return std::make_pair(n->key, n->value);
-    }
-
-   private:
-    explicit Cursor(const LoMap& m)
-        : guard_(m.domain_->guard()), map_(&m), node_(m.neg_) {}
-    reclaim::EbrDomain::Guard guard_;
-    const LoMap* map_;
-    const NodeT* node_;
-    friend class LoMap;
-  };
-
-  /// A cursor positioned before the smallest key.
-  Cursor cursor() const { return Cursor(*this); }
-
-  /// Largest key strictly smaller than k (mirror of next()).
-  std::optional<std::pair<K, V>> prev(const K& k) const {
-    auto g = domain_->guard();
-    for (;;) {
-      const NodeT* node = locate(k);
-      while (node != neg_ && (cmp(node, k) >= 0 ||
-                              node->mark.load(std::memory_order_acquire))) {
-        node = node->pred.load(std::memory_order_acquire);
-      }
-      if (node == neg_) return std::nullopt;
-      if (node->tag == Tag::kNormal && comp_(node->key, k)) {
-        return std::make_pair(node->key, node->value);
-      }
-    }
-  }
-
-  /// O(n) size via the ordering chain; exact at quiescence.
-  std::size_t size_slow() const {
-    std::size_t n = 0;
-    for_each([&n](const K&, const V&) { ++n; });
-    return n;
-  }
-
-  bool empty() const {
-    auto g = domain_->guard();
-    return neg_->succ.load(std::memory_order_acquire) == pos_;
-  }
-
-  // -------------------------------------------------------------- updates
-
-  /// Insert-if-absent (Algorithm 3). Returns false if the key is present.
-  ///
-  /// Allocation failure (std::bad_alloc) offers the strong guarantee: the
-  /// node is allocated here, before any lock acquisition or retry, so a
-  /// throw leaves the map untouched with no locks held. The node is freed
-  /// again if the key turns out to be present.
-  bool insert(const K& k, const V& v) {
-    auto g = domain_->guard();
-    inject::stall_point(inject::Site::kGuardStallWriter);
-    inject::throw_if_alloc_fault(inject::Site::kLoInsertAlloc);
-    NodeT* nn = Alloc::template create<NodeT>(k, v);
-    for (;;) {
-      NodeT* node = search(k);
-      NodeT* p = cmp(node, k) >= 0
-                     ? node->pred.load(std::memory_order_acquire)
-                     : node;
-      p->succ_lock.lock();
-      NodeT* s = p->succ.load(std::memory_order_relaxed);
-      if (cmp(p, k) < 0 && cmp(s, k) >= 0 &&
-          !p->mark.load(std::memory_order_acquire)) {
-        if (cmp(s, k) == 0) {
-          p->succ_lock.unlock();
-          Alloc::template destroy<NodeT>(nn);  // never published
-          return false;  // unsuccessful insert
-        }
-        NodeT* parent = choose_parent(p, s, node);
-        nn->succ.store(s, std::memory_order_relaxed);
-        nn->pred.store(p, std::memory_order_relaxed);
-        nn->parent.store(parent, std::memory_order_relaxed);
-        // Linearization point of a successful insert (§5.2). The succ link
-        // must be published *first*: succ pointers are the authoritative
-        // chain, and pred pointers are only repair hints that the ordering
-        // walk always re-validates by walking succ afterwards. Storing
-        // s->pred before p->succ lets a pred-walking reader observe nn
-        // before this linearization point while a succ-walking reader still
-        // misses it — a real-time inversion the perturbed stress harness
-        // caught as a non-linearizable history (contains(k)=true then
-        // contains(k)=false with only this insert in flight). The verified
-        // plankton model orders the stores the same way as below.
-        p->succ.store(nn, std::memory_order_release);
-        check::perturb_point(check::PerturbPoint::kInsertHalfLinked);
-        s->pred.store(nn, std::memory_order_release);
-        p->succ_lock.unlock();
-        check::perturb_point(check::PerturbPoint::kInsertBeforeTreeLink);
-        insert_to_tree(parent, nn);
-        return true;
-      }
-      p->succ_lock.unlock();  // validation failed; restart
-    }
-  }
-
-  /// Remove-if-present (Algorithm 7) with on-time physical deletion.
-  /// Allocates no node of its own; the only allocation is the retire-list
-  /// bookkeeping inside EbrDomain::retire, which is OOM-safe (DESIGN.md §9).
-  bool erase(const K& k) {
-    auto g = domain_->guard();
-    inject::stall_point(inject::Site::kGuardStallWriter);
-    for (;;) {
-      NodeT* node = search(k);
-      NodeT* p = cmp(node, k) >= 0
-                     ? node->pred.load(std::memory_order_acquire)
-                     : node;
-      p->succ_lock.lock();
-      NodeT* s = p->succ.load(std::memory_order_relaxed);
-      if (cmp(p, k) < 0 && cmp(s, k) >= 0 &&
-          !p->mark.load(std::memory_order_acquire)) {
-        if (cmp(s, k) > 0) {
-          p->succ_lock.unlock();
-          return false;  // unsuccessful remove
-        }
-        // Successful removal of s.
-        s->succ_lock.lock();
-        const bool two_children = acquire_tree_locks(s);
-        // Linearization point of a successful remove (§5.2).
-        s->mark.store(true, std::memory_order_release);
-        check::perturb_point(check::PerturbPoint::kEraseAfterMark);
-        NodeT* s_succ = s->succ.load(std::memory_order_relaxed);
-        s_succ->pred.store(p, std::memory_order_release);
-        check::perturb_point(check::PerturbPoint::kEraseHalfUnlinked);
-        p->succ.store(s_succ, std::memory_order_release);
-        s->succ_lock.unlock();
-        p->succ_lock.unlock();
-        check::perturb_point(check::PerturbPoint::kEraseBeforeTreeUnlink);
-        remove_from_tree(s, two_children);
-        domain_->template retire_via<Alloc>(s);
-        return true;
-      }
-      p->succ_lock.unlock();  // validation failed; restart
-    }
-  }
-
-  // ---------------------------------------------------- introspection API
-  // Used by lo/validate.hpp and the white-box tests; not part of the map
-  // interface proper.
-
-  NodeT* debug_root() const { return root_; }
-  NodeT* debug_neg_sentinel() const { return neg_; }
-  NodeT* debug_pos_sentinel() const { return pos_; }
-  reclaim::EbrDomain& domain() const { return *domain_; }
-  Compare key_comp() const { return comp_; }
-
- private:
-  // Three-way comparison of a node against a key, sentinel-aware:
-  // negative if node < k, zero if equal, positive if node > k.
-  int cmp(const NodeT* n, const K& k) const {
-    if (n->tag != Tag::kNormal) return n->tag == Tag::kNegInf ? -1 : 1;
-    if (comp_(n->key, k)) return -1;
-    if (comp_(k, n->key)) return 1;
-    return 0;
-  }
-
-  /// Algorithm 1: plain descent, no locks, no restarts. May stray from its
-  /// path under concurrent rotations; the ordering walk compensates.
-  NodeT* search(const K& k) const {
-    NodeT* node = root_;
-    for (;;) {
-      const int c = cmp(node, k);
-      if (c == 0) return node;
-      NodeT* child = c < 0 ? node->right.load(std::memory_order_acquire)
-                           : node->left.load(std::memory_order_acquire);
-      if (child == nullptr) return node;
-      node = child;
-    }
-  }
-
-  /// Algorithm 2's ordering walk: from wherever search ended, walk pred
-  /// until at or below k, then succ until at or above k. Terminates
-  /// because keys strictly decrease/increase along the walks (removed
-  /// nodes keep their outgoing pointers; EBR keeps them alive).
-  const NodeT* locate(const K& k) const {
-    const NodeT* node = search(k);
-    check::perturb_point(check::PerturbPoint::kLocateAfterDescent);
-#if defined(LOT_INJECT_BUG)
-    // Intentionally broken linearization (checker negative control): trust
-    // the physical descent alone. A key that momentarily lives only in the
-    // ordering layout — mid-insert, or a successor detached during a
-    // two-child removal — is reported absent even though it was inserted
-    // long ago, which no linearization of the history can explain.
-    return node;
-#else
-    while (cmp(node, k) > 0) {
-      node = node->pred.load(std::memory_order_acquire);
-    }
-    // Back off marked nodes before walking forward. Without this a search
-    // can land on a *stale duplicate*: a removed-but-not-yet-unlinked-from-
-    // the-tree node with key == k, while a re-inserted k lives elsewhere on
-    // the chain — the walk below would never move and the lookup would miss
-    // a present key. (DESIGN.md pseudocode errata; the verified variant in
-    // Wolff's plankton examples carries the same extra loop. Found by the
-    // schedule-perturbed linearizability harness, tests/stress/.) Marked
-    // nodes keep pred pointers to strictly smaller keys and -inf is never
-    // marked, so this terminates.
-    while (node->mark.load(std::memory_order_acquire)) {
-      node = node->pred.load(std::memory_order_acquire);
-    }
-    while (cmp(node, k) < 0) {
-      node = node->succ.load(std::memory_order_acquire);
-    }
-    return node;
-#endif
-  }
-
-  /// Algorithm 4. Requires p's succ_lock held (so neither candidate can be
-  /// removed from under us). Returns the chosen parent, tree-locked.
-  NodeT* choose_parent(NodeT* p, NodeT* s, NodeT* first_cand) {
-    NodeT* candidate = (first_cand == p || first_cand == s) ? first_cand : p;
-    if (candidate == neg_) candidate = s;  // -inf never parents a node
-    for (;;) {
-      candidate->tree_lock.lock();
-      if (candidate == p) {
-        if (candidate->right.load(std::memory_order_relaxed) == nullptr) {
-          return candidate;
-        }
-        candidate->tree_lock.unlock();
-        candidate = s;
-      } else {
-        if (candidate->left.load(std::memory_order_relaxed) == nullptr) {
-          return candidate;
-        }
-        candidate->tree_lock.unlock();
-        candidate = (p == neg_) ? s : p;
-      }
-    }
-  }
-
-  /// Algorithm 5. Requires parent tree-locked; consumes that lock.
-  void insert_to_tree(NodeT* parent, NodeT* nn) {
-    const bool to_right = cmp(parent, nn->key) < 0;
-    if (to_right) {
-      parent->right.store(nn, std::memory_order_release);
-      if constexpr (Balanced) {
-        parent->right_height.store(1, std::memory_order_relaxed);
-      }
-    } else {
-      parent->left.store(nn, std::memory_order_release);
-      if constexpr (Balanced) {
-        parent->left_height.store(1, std::memory_order_relaxed);
-      }
-    }
-    if constexpr (Balanced) {
-      if (parent == root_) {
-        // The new node hangs directly off the +inf sentinel; there is
-        // nothing above it to rebalance (the sentinel has no parent).
-        parent->tree_lock.unlock();
-        return;
-      }
-      NodeT* grandparent = detail::lock_parent(parent);
-      detail::rebalance(
-          root_, grandparent, parent,
-          grandparent->left.load(std::memory_order_relaxed) == parent);
-    } else {
-      parent->tree_lock.unlock();
-    }
-  }
-
-  /// Algorithm 8. Requires n's succ_lock (and its predecessor's) held, so
-  /// n cannot be removed and n->succ cannot change. Determines how many
-  /// children n has and tree-locks everything its removal will touch:
-  /// n, n's parent, and either n's only child, or (two-children case) n's
-  /// successor, the successor's parent and the successor's child. Locks
-  /// taken downward are against the bottom-up order, so they are try_lock
-  /// + full restart (paper §5.1). Returns true iff n has two children.
-  bool acquire_tree_locks(NodeT* n) {
-    // Pause between retries: the holder of a failed try_lock target may be
-    // blocked on a lock we hold, and on a uniprocessor an immediate retry
-    // never lets it run (see restart_balance in lo/rebalance.hpp).
-    sync::Backoff backoff;
-    for (;;) {
-      backoff.pause();
-      n->tree_lock.lock();
-      NodeT* np = detail::lock_parent(n);
-
-      NodeT* r = n->right.load(std::memory_order_relaxed);
-      NodeT* l = n->left.load(std::memory_order_relaxed);
-      if (r == nullptr || l == nullptr) {
-        NodeT* child = r != nullptr ? r : l;
-        if (child != nullptr && !child->tree_lock.try_lock()) {
-          np->tree_lock.unlock();
-          n->tree_lock.unlock();
-          continue;
-        }
-        return false;
-      }
-
-      // Two children: lock successor machinery.
-      NodeT* s = n->succ.load(std::memory_order_relaxed);
-      NodeT* sp = s->parent.load(std::memory_order_acquire);
-      bool sp_locked = false;
-      if (sp != n) {
-        if (!sp->tree_lock.try_lock()) {
-          np->tree_lock.unlock();
-          n->tree_lock.unlock();
-          continue;
-        }
-        if (sp != s->parent.load(std::memory_order_acquire) ||
-            sp->mark.load(std::memory_order_acquire)) {
-          sp->tree_lock.unlock();
-          np->tree_lock.unlock();
-          n->tree_lock.unlock();
-          continue;
-        }
-        sp_locked = true;
-      }
-      if (!s->tree_lock.try_lock()) {
-        if (sp_locked) sp->tree_lock.unlock();
-        np->tree_lock.unlock();
-        n->tree_lock.unlock();
-        continue;
-      }
-      NodeT* sr = s->right.load(std::memory_order_relaxed);
-      if (sr != nullptr && !sr->tree_lock.try_lock()) {
-        s->tree_lock.unlock();
-        if (sp_locked) sp->tree_lock.unlock();
-        np->tree_lock.unlock();
-        n->tree_lock.unlock();
-        continue;
-      }
-      return true;
-    }
-  }
-
-  /// Algorithm 9. Physically unlinks n (one-child case) or relocates n's
-  /// successor into n's place (two-children case, on-time deletion §3.3).
-  /// Consumes every tree lock taken by acquire_tree_locks.
-  void remove_from_tree(NodeT* n, bool two_children) {
-    NodeT* np = n->parent.load(std::memory_order_relaxed);
-    if (!two_children) {
-      NodeT* r = n->right.load(std::memory_order_relaxed);
-      NodeT* child = r != nullptr ? r : n->left.load(std::memory_order_relaxed);
-      const bool was_left = np->left.load(std::memory_order_relaxed) == n;
-      detail::update_child(np, n, child);
-      n->tree_lock.unlock();
-      if constexpr (Balanced) {
-        detail::rebalance(root_, np, child, was_left);
-      } else {
-        if (child != nullptr) child->tree_lock.unlock();
-        np->tree_lock.unlock();
-      }
-      return;
-    }
-
-    NodeT* s = n->succ.load(std::memory_order_relaxed);  // relocation target
-    NodeT* child = s->right.load(std::memory_order_relaxed);
-    NodeT* parent = s->parent.load(std::memory_order_relaxed);
-    // Detach s, then read n's layout: when parent == n this order makes
-    // n->right already point at child, which is exactly s's new right.
-    detail::update_child(parent, s, child);
-    // s is now reachable only through the logical ordering (§3.3) — the
-    // window the paper's lock-free contains is designed to survive.
-    check::perturb_point(check::PerturbPoint::kRelocateDetached);
-    NodeT* nl = n->left.load(std::memory_order_relaxed);
-    NodeT* nr = n->right.load(std::memory_order_relaxed);
-    s->left.store(nl, std::memory_order_release);
-    s->right.store(nr, std::memory_order_release);
-    s->left_height.store(n->left_height.load(std::memory_order_relaxed),
-                         std::memory_order_relaxed);
-    s->right_height.store(n->right_height.load(std::memory_order_relaxed),
-                          std::memory_order_relaxed);
-    nl->parent.store(s, std::memory_order_release);
-    if (nr != nullptr) nr->parent.store(s, std::memory_order_release);
-    // While s was detached it stayed reachable through the logical
-    // ordering — concurrent lock-free lookups cannot miss it (§3.3).
-    detail::update_child(np, n, s);
-
-    NodeT* rb_node;
-    bool rb_was_left;
-    if (parent == n) {
-      rb_node = s;  // keeps its lock; rebalance starts at s itself
-      rb_was_left = false;  // child replaced s's right subtree
-    } else {
-      s->tree_lock.unlock();
-      rb_node = parent;
-      rb_was_left = true;  // s was the leftmost (left) child of parent
-    }
-    np->tree_lock.unlock();
-    n->tree_lock.unlock();
-    if constexpr (Balanced) {
-      detail::rebalance(root_, rb_node, child, rb_was_left);
-      // Remover's obligation (§4.5): if a concurrent rebalance bailed out
-      // on n's mark, the imbalance migrated to s — fix it here.
-      detail::rebalance_at(root_, s);
-    } else {
-      if (child != nullptr) child->tree_lock.unlock();
-      rb_node->tree_lock.unlock();
-    }
-  }
-
-  reclaim::EbrDomain* domain_;
-  Compare comp_;
-  NodeT* root_;  // == pos_ (the +inf sentinel)
-  NodeT* neg_;
-  NodeT* pos_;
 };
 
 }  // namespace lot::lo

@@ -14,13 +14,20 @@
 // that an accidental unlocked read is at worst stale, never UB.
 //
 // Layout is cache-conscious (DESIGN.md §10): the node is cacheline-aligned
-// with the lock-free read path — key, tag, mark, deleted, pred, succ,
-// value — grouped on the first line, and the write-side state — the tree
-// layout fields, both spinlocks, the heights (packed to int16_t; AVL
-// heights fit trivially) — pushed onto the second. A contains() that
-// walks the ordering layout touches one line per node instead of two, and
-// writers bouncing tree_lock/succ_lock lines never invalidate the line
-// readers are traversing. Static asserts below pin the contract.
+// with the lock-free read path — key, tag, mark, pred, succ, value (plus
+// `deleted` in the logical-removing layout) — grouped on the first line,
+// and the write-side state — the tree layout fields, both spinlocks, the
+// heights (packed to int16_t; AVL heights fit trivially) — pushed onto the
+// second. A contains() that walks the ordering layout touches one line per
+// node instead of two, and writers bouncing tree_lock/succ_lock lines
+// never invalidate the line readers are traversing. Static asserts below
+// pin the contract.
+//
+// Two layouts, one per removal policy (lo/core.hpp): `Node` for on-time
+// removal (plain immutable value, no deleted flag) and `PartialNode` for
+// the logical-removing variant, which owns the `deleted` flag and stores
+// the value in an atomic slot because revive-in-place races with lock-free
+// gets.
 #pragma once
 
 #include <atomic>
@@ -49,10 +56,6 @@ struct alignas(sync::kCacheLineSize) Node {
   /// meaning with the interval (node, succ(node)) being merged away.
   std::atomic<bool> mark{false};
 
-  /// Used only by the "logical removing" (partially-external) variant:
-  /// the node is logically absent but still present in both layouts.
-  std::atomic<bool> deleted{false};
-
   // ---- logical ordering layout (succ_lock, on the cold line) ----
   std::atomic<Self*> pred{nullptr};
   std::atomic<Self*> succ{nullptr};
@@ -69,6 +72,59 @@ struct alignas(sync::kCacheLineSize) Node {
   sync::SpinLock succ_lock;
 
   Node(K k, V v, Tag t = Tag::kNormal)
+      : key(std::move(k)), tag(t), value(std::move(v)) {}
+
+  bool is_sentinel() const { return tag != Tag::kNormal; }
+
+  std::int32_t height_of_subtrees() const {
+    const std::int32_t lh = left_height.load(std::memory_order_relaxed);
+    const std::int32_t rh = right_height.load(std::memory_order_relaxed);
+    return lh > rh ? lh : rh;
+  }
+
+  std::int32_t balance_factor() const {
+    return left_height.load(std::memory_order_relaxed) -
+           right_height.load(std::memory_order_relaxed);
+  }
+};
+
+/// Node layout owned by the LogicalRemoving policy (lo/core.hpp, paper
+/// §6): adds the `deleted` flag — the node is logically absent but still
+/// present in both layouts ("zombie") — and stores the value in an atomic
+/// slot, because revive-in-place (insert over a zombie) writes the value
+/// while lock-free gets read it. The atomic slot is why the partial
+/// variant requires trivially-copyable V.
+template <typename K, typename V>
+struct alignas(sync::kCacheLineSize) PartialNode {
+  using Self = PartialNode<K, V>;
+
+  // ---- hot line: everything the lock-free read path dereferences ----
+  const K key;
+  const Tag tag;
+
+  /// True once the node is removed from the logical ordering.
+  std::atomic<bool> mark{false};
+
+  /// Owned by the LogicalRemoving policy: logically absent, physically
+  /// present in both layouts. Cleared by revive-in-place.
+  std::atomic<bool> deleted{false};
+
+  std::atomic<Self*> pred{nullptr};
+  std::atomic<Self*> succ{nullptr};
+
+  /// Atomic so revive's store can race with lock-free value reads.
+  std::atomic<V> value;
+
+  // ---- cold line: physical tree layout (tree_lock) + both locks ----
+  alignas(sync::kCacheLineSize) std::atomic<Self*> left{nullptr};
+  std::atomic<Self*> right{nullptr};
+  std::atomic<Self*> parent{nullptr};
+  std::atomic<std::int16_t> left_height{0};
+  std::atomic<std::int16_t> right_height{0};
+  sync::SpinLock tree_lock;
+  sync::SpinLock succ_lock;
+
+  PartialNode(K k, V v, Tag t = Tag::kNormal)
       : key(std::move(k)), tag(t), value(std::move(v)) {}
 
   bool is_sentinel() const { return tag != Tag::kNormal; }
@@ -113,6 +169,31 @@ static_assert(offsetof(ProbeNode, key) < sync::kCacheLineSize &&
 static_assert(offsetof(ProbeNode, left) == sync::kCacheLineSize &&
                   offsetof(ProbeNode, tree_lock) >= sync::kCacheLineSize &&
                   offsetof(ProbeNode, succ_lock) >= sync::kCacheLineSize,
+              "tree fields and locks belong on the cold line");
+
+// Same contract for the logical-removing layout: the extra `deleted` flag
+// and the atomic value slot must not push the read path off the hot line.
+using ProbePartialNode = PartialNode<std::int64_t, std::int64_t>;
+static_assert(alignof(ProbePartialNode) == sync::kCacheLineSize,
+              "partial node must start on a cache line");
+static_assert(sizeof(ProbePartialNode) == 2 * sync::kCacheLineSize,
+              "partial node is one hot line + one cold line");
+static_assert(offsetof(ProbePartialNode, key) < sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, tag) < sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, mark) < sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, deleted) < sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, pred) + sizeof(void*) <=
+                      sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, succ) + sizeof(void*) <=
+                      sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, value) + sizeof(std::int64_t) <=
+                      sync::kCacheLineSize,
+              "lock-free read path must fit in the first cache line");
+static_assert(offsetof(ProbePartialNode, left) == sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, tree_lock) >=
+                      sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, succ_lock) >=
+                      sync::kCacheLineSize,
               "tree fields and locks belong on the cold line");
 #if defined(__GNUC__)
 #pragma GCC diagnostic pop

@@ -7,542 +7,44 @@
 // on-time deletion for allocation reuse, exactly the tradeoff Table 1/2
 // compare ("logical removing" series).
 //
-// The `deleted` flag is protected by the predecessor's succ_lock (the same
-// interval lock that guards insertion/removal of the key), so revive and
-// logical-delete serialize; lock-free readers pair an acquire load of
-// `deleted` with an atomic value slot (hence the TriviallyCopyable bound).
+// Since PR 4 this is a thin instantiation of the shared engine in
+// lo/core.hpp: PartialMap = LoCore over the LogicalRemoving removal policy
+// and the PartialNode layout (lo/node.hpp), which own the `deleted` flag
+// and the atomic value slot. The `deleted` flag is protected by the
+// predecessor's succ_lock (the same interval lock that guards
+// insertion/removal of the key), so revive and logical-delete serialize;
+// lock-free readers pair an acquire load of `deleted` with an atomic value
+// slot (hence the TriviallyCopyable bound).
 #pragma once
 
-#include <atomic>
-#include <cstddef>
 #include <functional>
-#include <optional>
 #include <string_view>
 #include <type_traits>
-#include <utility>
 
-#include "inject/inject.hpp"
-#include "lo/detail.hpp"
+#include "lo/core.hpp"
 #include "lo/node.hpp"
-#include "lo/rebalance.hpp"
-#include "reclaim/ebr.hpp"
 #include "reclaim/pool.hpp"
-#include "sync/backoff.hpp"
 
 namespace lot::lo {
 
 template <typename K, typename V, typename Compare = std::less<K>,
           bool Balanced = true,
           typename Alloc = reclaim::DefaultNodeAlloc>
-class PartialMap {
+class PartialMap : public LoCore<K, V, Compare, Balanced, Alloc,
+                                 LogicalRemoving, PartialNode> {
   static_assert(std::is_trivially_copyable_v<V>,
                 "the logical-removing variant stores values in an atomic "
                 "slot so revive can race with lock-free gets");
 
+  using Base =
+      LoCore<K, V, Compare, Balanced, Alloc, LogicalRemoving, PartialNode>;
+
  public:
-  using key_type = K;
-  using mapped_type = V;
-  using alloc_type = Alloc;
-
-  // Same hot/cold split as lo::Node: the lock-free read path (which here
-  // also loads `deleted` and the atomic value slot) on the first line,
-  // tree-layout state and both locks on the second.
-  struct alignas(sync::kCacheLineSize) NodeT {
-    const K key;
-    const Tag tag;
-    std::atomic<bool> mark{false};     // removed from the ordering layout
-    std::atomic<bool> deleted{false};  // logically absent, physically kept
-    std::atomic<NodeT*> pred{nullptr};
-    std::atomic<NodeT*> succ{nullptr};
-    std::atomic<V> value;
-
-    alignas(sync::kCacheLineSize) std::atomic<NodeT*> left{nullptr};
-    std::atomic<NodeT*> right{nullptr};
-    std::atomic<NodeT*> parent{nullptr};
-    std::atomic<std::int16_t> left_height{0};
-    std::atomic<std::int16_t> right_height{0};
-    sync::SpinLock tree_lock;
-    sync::SpinLock succ_lock;
-
-    NodeT(K k, V v, Tag t = Tag::kNormal)
-        : key(std::move(k)), tag(t), value(v) {}
-
-    bool is_sentinel() const { return tag != Tag::kNormal; }
-    std::int32_t balance_factor() const {
-      return left_height.load(std::memory_order_relaxed) -
-             right_height.load(std::memory_order_relaxed);
-    }
-  };
-
-  explicit PartialMap(reclaim::EbrDomain& domain =
-                          reclaim::EbrDomain::global_domain(),
-                      Compare comp = Compare())
-      : domain_(&domain), comp_(std::move(comp)) {
-    // Sentinels go through the same allocation policy as ordinary nodes
-    // (and are freed through it in the destructor), so alloc_stats — and
-    // the pool's slot accounting — balance to zero at teardown.
-    neg_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kNegInf);
-    try {
-      pos_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kPosInf);
-    } catch (...) {
-      Alloc::template destroy<NodeT>(neg_);
-      throw;
-    }
-    neg_->succ.store(pos_, std::memory_order_relaxed);
-    pos_->pred.store(neg_, std::memory_order_relaxed);
-    root_ = pos_;
-  }
-
-  ~PartialMap() {
-    NodeT* node = neg_;
-    while (node != nullptr) {
-      NodeT* next = node->succ.load(std::memory_order_relaxed);
-      Alloc::template destroy<NodeT>(node);
-      node = next;
-    }
-  }
-
-  PartialMap(const PartialMap&) = delete;
-  PartialMap& operator=(const PartialMap&) = delete;
+  using Base::Base;
 
   static std::string_view name() {
     return Balanced ? "lo-avl-logical-removing" : "lo-bst-logical-removing";
   }
-
-  // ---------------------------------------------------------------- reads
-
-  bool contains(const K& k) const {
-    auto g = domain_->guard();
-    inject::stall_point(inject::Site::kGuardStallReader);
-    const NodeT* node = locate(k);
-    return cmp(node, k) == 0 && is_present(node);
-  }
-
-  std::optional<V> get(const K& k) const {
-    auto g = domain_->guard();
-    inject::stall_point(inject::Site::kGuardStallReader);
-    const NodeT* node = locate(k);
-    if (cmp(node, k) != 0) return std::nullopt;
-    // Read the value before re-checking presence so a racing revive
-    // cannot hand us a value newer than the presence decision.
-    const V v = node->value.load(std::memory_order_acquire);
-    if (!is_present(node)) return std::nullopt;
-    return v;
-  }
-
-  std::optional<std::pair<K, V>> min() const {
-    auto g = domain_->guard();
-    NodeT* node = neg_->succ.load(std::memory_order_acquire);
-    while (node != pos_) {
-      const V v = node->value.load(std::memory_order_acquire);
-      if (is_present(node)) return std::make_pair(node->key, v);
-      node = node->succ.load(std::memory_order_acquire);
-    }
-    return std::nullopt;
-  }
-
-  std::optional<std::pair<K, V>> max() const {
-    auto g = domain_->guard();
-    NodeT* node = pos_->pred.load(std::memory_order_acquire);
-    while (node != neg_) {
-      const V v = node->value.load(std::memory_order_acquire);
-      if (is_present(node)) return std::make_pair(node->key, v);
-      node = node->pred.load(std::memory_order_acquire);
-    }
-    return std::nullopt;
-  }
-
-  template <typename F>
-  void for_each(F&& fn) const {
-    auto g = domain_->guard();
-    NodeT* node = neg_->succ.load(std::memory_order_acquire);
-    while (node != pos_) {
-      const V v = node->value.load(std::memory_order_acquire);
-      if (is_present(node)) fn(node->key, v);
-      node = node->succ.load(std::memory_order_acquire);
-    }
-  }
-
-  /// Lock-free ordered range scan over [lo, hi); skips zombies.
-  template <typename F>
-  void range(const K& lo, const K& hi, F&& fn) const {
-    if (!comp_(lo, hi)) return;
-    auto g = domain_->guard();
-    const NodeT* node = locate(lo);
-    while (node != pos_ &&
-           (node->tag == Tag::kNegInf || comp_(node->key, hi))) {
-      if (node->tag == Tag::kNormal && !comp_(node->key, lo)) {
-        const V v = node->value.load(std::memory_order_acquire);
-        if (is_present(node)) fn(node->key, v);
-      }
-      node = node->succ.load(std::memory_order_acquire);
-    }
-  }
-
-  /// Smallest present key strictly greater than k.
-  std::optional<std::pair<K, V>> next(const K& k) const {
-    auto g = domain_->guard();
-    const NodeT* node = locate(k);
-    if (cmp(node, k) == 0) node = node->succ.load(std::memory_order_acquire);
-    while (node != pos_) {
-      const V v = node->value.load(std::memory_order_acquire);
-      if (is_present(node) && node->tag == Tag::kNormal &&
-          comp_(k, node->key)) {
-        return std::make_pair(node->key, v);
-      }
-      node = node->succ.load(std::memory_order_acquire);
-    }
-    return std::nullopt;
-  }
-
-  /// Largest present key strictly smaller than k.
-  std::optional<std::pair<K, V>> prev(const K& k) const {
-    auto g = domain_->guard();
-    const NodeT* node = locate(k);
-    while (node != neg_) {
-      const V v = node->value.load(std::memory_order_acquire);
-      if (is_present(node) && node->tag == Tag::kNormal &&
-          comp_(node->key, k)) {
-        return std::make_pair(node->key, v);
-      }
-      node = node->pred.load(std::memory_order_acquire);
-    }
-    return std::nullopt;
-  }
-
-  std::size_t size_slow() const {
-    std::size_t n = 0;
-    for_each([&n](const K&, const V&) { ++n; });
-    return n;
-  }
-
-  /// Nodes on the ordering chain, including deleted ("zombie") ones —
-  /// the memory-footprint metric of ablation A2.
-  std::size_t physical_nodes_slow() const {
-    auto g = domain_->guard();
-    std::size_t n = 0;
-    NodeT* node = neg_->succ.load(std::memory_order_acquire);
-    while (node != pos_) {
-      ++n;
-      node = node->succ.load(std::memory_order_acquire);
-    }
-    return n;
-  }
-
-  bool empty() const { return size_slow() == 0; }
-
-  // -------------------------------------------------------------- updates
-
-  /// Strong exception guarantee under allocation failure, like
-  /// LoMap::insert, but with lazy allocation so the revive path keeps its
-  /// allocation-free property (the point of this variant, ablation A2):
-  /// the node is allocated only once the key is observed absent, and
-  /// always with the interval lock dropped — the validation then restarts,
-  /// so a bad_alloc propagates with no locks held and the map untouched.
-  bool insert(const K& k, const V& v) {
-    auto g = domain_->guard();
-    inject::stall_point(inject::Site::kGuardStallWriter);
-    NodeT* nn = nullptr;
-    for (;;) {
-      NodeT* node = search(k);
-      NodeT* p = cmp(node, k) >= 0
-                     ? node->pred.load(std::memory_order_acquire)
-                     : node;
-      p->succ_lock.lock();
-      NodeT* s = p->succ.load(std::memory_order_relaxed);
-      if (cmp(p, k) < 0 && cmp(s, k) >= 0 &&
-          !p->mark.load(std::memory_order_acquire)) {
-        if (cmp(s, k) == 0) {
-          // Physically present. Revive if it was logically deleted.
-          if (!s->deleted.load(std::memory_order_acquire)) {
-            p->succ_lock.unlock();
-            Alloc::template destroy<NodeT>(nn);  // from a lost race, if any
-            return false;
-          }
-          s->value.store(v, std::memory_order_relaxed);
-          s->deleted.store(false, std::memory_order_release);
-          p->succ_lock.unlock();
-          Alloc::template destroy<NodeT>(nn);  // revived in place instead
-          return true;
-        }
-        if (nn == nullptr) {
-          // Key absent, so a node is needed — but never allocate while
-          // holding the interval lock. Drop it, allocate, revalidate.
-          p->succ_lock.unlock();
-          inject::throw_if_alloc_fault(inject::Site::kPartialInsertAlloc);
-          nn = Alloc::template create<NodeT>(k, v);
-          continue;
-        }
-        NodeT* parent = choose_parent(p, s, node);
-        nn->succ.store(s, std::memory_order_relaxed);
-        nn->pred.store(p, std::memory_order_relaxed);
-        nn->parent.store(parent, std::memory_order_relaxed);
-        // Succ link first — it is the linearization point and the
-        // authoritative chain direction; the pred hint follows (see the
-        // store-order note in lo/map.hpp insert()).
-        p->succ.store(nn, std::memory_order_release);
-        s->pred.store(nn, std::memory_order_release);
-        p->succ_lock.unlock();
-        insert_to_tree(parent, nn);
-        return true;
-      }
-      p->succ_lock.unlock();
-    }
-  }
-
-  bool erase(const K& k) {
-    auto g = domain_->guard();
-    inject::stall_point(inject::Site::kGuardStallWriter);
-    for (;;) {
-      NodeT* node = search(k);
-      NodeT* p = cmp(node, k) >= 0
-                     ? node->pred.load(std::memory_order_acquire)
-                     : node;
-      p->succ_lock.lock();
-      NodeT* s = p->succ.load(std::memory_order_relaxed);
-      if (cmp(p, k) < 0 && cmp(s, k) >= 0 &&
-          !p->mark.load(std::memory_order_acquire)) {
-        if (cmp(s, k) > 0 || s->deleted.load(std::memory_order_acquire)) {
-          p->succ_lock.unlock();
-          return false;
-        }
-        // Succ locks strictly precede tree locks (paper §5.1), so take
-        // s's interval lock before inspecting the physical neighbourhood.
-        s->succ_lock.lock();
-        NodeT* np = nullptr;
-        NodeT* child = nullptr;
-        if (!acquire_unlink_locks(s, np, child)) {
-          // Two children: logical removal only.
-          s->deleted.store(true, std::memory_order_release);
-          s->succ_lock.unlock();
-          p->succ_lock.unlock();
-          return true;
-        }
-        // At most one child: physical removal, as in the main algorithm.
-        s->mark.store(true, std::memory_order_release);
-        NodeT* s_succ = s->succ.load(std::memory_order_relaxed);
-        s_succ->pred.store(p, std::memory_order_release);
-        p->succ.store(s_succ, std::memory_order_release);
-        s->succ_lock.unlock();
-        p->succ_lock.unlock();
-        unlink_and_rebalance(s, np, child);
-        domain_->template retire_via<Alloc>(s);
-        // Opportunistic purge (paper: deleted nodes become physically
-        // removable when their child count drops): np may now qualify.
-        try_purge(np);
-        return true;
-      }
-      p->succ_lock.unlock();
-    }
-  }
-
-  /// Quiescent cleanup: physically remove every deleted node that has at
-  /// most one child, repeating until a fixpoint. Exposed for tests and the
-  /// zombie ablation; concurrent-safe but intended for quiet periods.
-  std::size_t purge_all() {
-    std::size_t purged = 0;
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      auto g = domain_->guard();
-      NodeT* node = neg_->succ.load(std::memory_order_acquire);
-      while (node != pos_) {
-        NodeT* next = node->succ.load(std::memory_order_acquire);
-        if (node->deleted.load(std::memory_order_acquire) &&
-            try_purge(node)) {
-          ++purged;
-          progress = true;
-        }
-        node = next;
-      }
-    }
-    return purged;
-  }
-
-  // ---------------------------------------------------- introspection API
-
-  NodeT* debug_root() const { return root_; }
-  NodeT* debug_neg_sentinel() const { return neg_; }
-  NodeT* debug_pos_sentinel() const { return pos_; }
-  Compare key_comp() const { return comp_; }
-
- private:
-  static bool is_present(const NodeT* n) {
-    return !n->mark.load(std::memory_order_acquire) &&
-           !n->deleted.load(std::memory_order_acquire);
-  }
-
-  int cmp(const NodeT* n, const K& k) const {
-    if (n->tag != Tag::kNormal) return n->tag == Tag::kNegInf ? -1 : 1;
-    if (comp_(n->key, k)) return -1;
-    if (comp_(k, n->key)) return 1;
-    return 0;
-  }
-
-  NodeT* search(const K& k) const {
-    NodeT* node = root_;
-    for (;;) {
-      const int c = cmp(node, k);
-      if (c == 0) return node;
-      NodeT* child = c < 0 ? node->right.load(std::memory_order_acquire)
-                           : node->left.load(std::memory_order_acquire);
-      if (child == nullptr) return node;
-      node = child;
-    }
-  }
-
-  const NodeT* locate(const K& k) const {
-    const NodeT* node = search(k);
-    while (cmp(node, k) > 0) {
-      node = node->pred.load(std::memory_order_acquire);
-    }
-    // Back off marked (physically unlinked) nodes before walking forward,
-    // exactly as in LoMap::locate: a stale duplicate still reachable in
-    // the tree layout must not shadow a re-inserted key on the chain.
-    // (`deleted` zombies stay on the chain and are NOT skipped — presence
-    // is decided by the caller.)
-    while (node->mark.load(std::memory_order_acquire)) {
-      node = node->pred.load(std::memory_order_acquire);
-    }
-    while (cmp(node, k) < 0) {
-      node = node->succ.load(std::memory_order_acquire);
-    }
-    return node;
-  }
-
-  NodeT* choose_parent(NodeT* p, NodeT* s, NodeT* first_cand) {
-    NodeT* candidate = (first_cand == p || first_cand == s) ? first_cand : p;
-    if (candidate == neg_) candidate = s;
-    for (;;) {
-      candidate->tree_lock.lock();
-      if (candidate == p) {
-        if (candidate->right.load(std::memory_order_relaxed) == nullptr) {
-          return candidate;
-        }
-        candidate->tree_lock.unlock();
-        candidate = s;
-      } else {
-        if (candidate->left.load(std::memory_order_relaxed) == nullptr) {
-          return candidate;
-        }
-        candidate->tree_lock.unlock();
-        candidate = (p == neg_) ? s : p;
-      }
-    }
-  }
-
-  void insert_to_tree(NodeT* parent, NodeT* nn) {
-    const bool to_right = cmp(parent, nn->key) < 0;
-    if (to_right) {
-      parent->right.store(nn, std::memory_order_release);
-      if constexpr (Balanced) {
-        parent->right_height.store(1, std::memory_order_relaxed);
-      }
-    } else {
-      parent->left.store(nn, std::memory_order_release);
-      if constexpr (Balanced) {
-        parent->left_height.store(1, std::memory_order_relaxed);
-      }
-    }
-    if constexpr (Balanced) {
-      if (parent == root_) {
-        parent->tree_lock.unlock();
-        return;
-      }
-      NodeT* grandparent = detail::lock_parent(parent);
-      detail::rebalance(
-          root_, grandparent, parent,
-          grandparent->left.load(std::memory_order_relaxed) == parent);
-    } else {
-      parent->tree_lock.unlock();
-    }
-  }
-
-  /// Locks n, its parent, and (if it exists) its only child. Returns true
-  /// with np/child set when n has at most one child; returns false with
-  /// no tree locks held when n has two children.
-  bool acquire_unlink_locks(NodeT* n, NodeT*& np, NodeT*& child) {
-    // Pause between retries so a child-lock holder blocked on n can run on
-    // a uniprocessor (see restart_balance in lo/rebalance.hpp).
-    sync::Backoff backoff;
-    for (;;) {
-      backoff.pause();
-      n->tree_lock.lock();
-      np = detail::lock_parent(n);
-      NodeT* r = n->right.load(std::memory_order_relaxed);
-      NodeT* l = n->left.load(std::memory_order_relaxed);
-      if (r != nullptr && l != nullptr) {
-        np->tree_lock.unlock();
-        n->tree_lock.unlock();
-        return false;
-      }
-      child = r != nullptr ? r : l;
-      if (child != nullptr && !child->tree_lock.try_lock()) {
-        np->tree_lock.unlock();
-        n->tree_lock.unlock();
-        continue;
-      }
-      return true;
-    }
-  }
-
-  /// Physically unlinks n (known to have at most one child; n, np, child
-  /// tree-locked) and rebalances. Consumes all three locks.
-  void unlink_and_rebalance(NodeT* n, NodeT* np, NodeT* child) {
-    const bool was_left = np->left.load(std::memory_order_relaxed) == n;
-    detail::update_child(np, n, child);
-    n->tree_lock.unlock();
-    if constexpr (Balanced) {
-      detail::rebalance(root_, np, child, was_left);
-    } else {
-      if (child != nullptr) child->tree_lock.unlock();
-      np->tree_lock.unlock();
-    }
-  }
-
-  /// Best-effort physical removal of a deleted node that may have dropped
-  /// to at most one child. Uses try_lock on the interval locks (a purge is
-  /// an optimization; giving up is always safe). Returns true on success.
-  bool try_purge(NodeT* q) {
-    if (q == nullptr || q->is_sentinel() ||
-        !q->deleted.load(std::memory_order_acquire) ||
-        q->mark.load(std::memory_order_acquire)) {
-      return false;
-    }
-    NodeT* p = q->pred.load(std::memory_order_acquire);
-    if (!p->succ_lock.try_lock()) return false;
-    // Validate: p is still q's predecessor and both are live.
-    if (p->succ.load(std::memory_order_relaxed) != q ||
-        p->mark.load(std::memory_order_acquire) ||
-        !q->deleted.load(std::memory_order_acquire)) {
-      p->succ_lock.unlock();
-      return false;
-    }
-    // Succ lock before tree locks; p < q so blocking respects key order.
-    q->succ_lock.lock();
-    NodeT* np = nullptr;
-    NodeT* child = nullptr;
-    if (!acquire_unlink_locks(q, np, child)) {
-      q->succ_lock.unlock();
-      p->succ_lock.unlock();
-      return false;  // still two children
-    }
-    q->mark.store(true, std::memory_order_release);
-    NodeT* q_succ = q->succ.load(std::memory_order_relaxed);
-    q_succ->pred.store(p, std::memory_order_release);
-    p->succ.store(q_succ, std::memory_order_release);
-    q->succ_lock.unlock();
-    p->succ_lock.unlock();
-    unlink_and_rebalance(q, np, child);
-    domain_->template retire_via<Alloc>(q);
-    return true;
-  }
-
-  reclaim::EbrDomain* domain_;
-  Compare comp_;
-  NodeT* root_;
-  NodeT* neg_;
-  NodeT* pos_;
 };
 
 /// Table 1's "logical removing" AVL series.
@@ -554,27 +56,5 @@ using PartialAvlMap = PartialMap<K, V, Compare, true, Alloc>;
 template <typename K, typename V, typename Compare = std::less<K>,
           typename Alloc = reclaim::DefaultNodeAlloc>
 using PartialBstMap = PartialMap<K, V, Compare, false, Alloc>;
-
-// Layout guards for the nested node, mirroring lo/node.hpp's.
-namespace detail {
-using ProbePartialNode = PartialMap<std::int64_t, std::int64_t>::NodeT;
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Winvalid-offsetof"
-#endif
-static_assert(alignof(ProbePartialNode) == sync::kCacheLineSize &&
-                  sizeof(ProbePartialNode) == 2 * sync::kCacheLineSize,
-              "logical-removing node is one hot line + one cold line");
-static_assert(offsetof(ProbePartialNode, value) + sizeof(std::int64_t) <=
-                      sync::kCacheLineSize &&
-                  offsetof(ProbePartialNode, succ) + sizeof(void*) <=
-                      sync::kCacheLineSize,
-              "lock-free read path must fit in the first cache line");
-static_assert(offsetof(ProbePartialNode, left) == sync::kCacheLineSize,
-              "tree fields and locks belong on the cold line");
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-}  // namespace detail
 
 }  // namespace lot::lo

@@ -36,10 +36,17 @@ TrialResult run_trial(MapT& map, const Spec& spec, unsigned threads,
   std::vector<std::thread> workers;
   workers.reserve(threads);
 
+  // Scan results escape through one relaxed add per thread so the range
+  // walk cannot be optimized into a no-op.
+  std::atomic<std::uint64_t> scan_sink{0};
+
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
+      using K = typename MapT::key_type;
+      using V = typename MapT::mapped_type;
       util::Xoshiro256 rng(seed * 1315423911ULL + t);
       std::uint64_t local = 0;
+      std::uint64_t sink = 0;
       barrier.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
         const auto key = static_cast<std::int64_t>(
@@ -49,12 +56,28 @@ TrialResult run_trial(MapT& map, const Spec& spec, unsigned threads,
           map.contains(key);
         } else if (dice < spec.contains_pct + spec.insert_pct) {
           map.insert(key, key);
-        } else {
+        } else if (dice < spec.contains_pct + spec.insert_pct +
+                              spec.remove_pct) {
           map.erase(key);
+        } else {
+          // Range scan over [key, key + scan_len). Implementations without
+          // the ordered surface (hash-style baselines) degrade to a point
+          // lookup so mixed specs still run everywhere.
+          if constexpr (requires {
+                          map.range(key, key, [](const K&, const V&) {});
+                        }) {
+            map.range(key, key + spec.scan_len,
+                      [&sink](const K& k, const V&) {
+                        sink += static_cast<std::uint64_t>(k);
+                      });
+          } else {
+            map.contains(key);
+          }
         }
         ++local;
       }
       ops[t] = local;
+      scan_sink.fetch_add(sink, std::memory_order_relaxed);
     });
   }
 
@@ -106,9 +129,26 @@ TrialResult run_recorded_trial(
         } else if (dice < spec.contains_pct + spec.insert_pct) {
           rec.record(t, check::Op::kInsert, key,
                      [&] { return map.insert(key, key); });
-        } else {
+        } else if (dice < spec.contains_pct + spec.insert_pct +
+                              spec.remove_pct) {
           rec.record(t, check::Op::kRemove, key,
                      [&] { return map.erase(key); });
+        } else {
+          // Recorded range scan: the recorder decomposes the observed key
+          // set into per-key contains observations (check/history.hpp).
+          if constexpr (requires {
+                          map.range(key, key,
+                                    [](const K&, const
+                                       typename MapT::mapped_type&) {});
+                        }) {
+            rec.record_scan(t, key, static_cast<K>(key + spec.scan_len),
+                            [&](const K& lo, const K& hi, auto&& sink) {
+                              map.range(lo, hi, sink);
+                            });
+          } else {
+            rec.record(t, check::Op::kContains, key,
+                       [&] { return map.contains(key); });
+          }
         }
       }
     });

@@ -16,6 +16,14 @@ struct Spec {
   unsigned remove_pct;     // percentage of remove ops
   std::int64_t key_range;  // keys drawn uniformly from [0, key_range)
 
+  // Range-scan mixing (PR 4's ordered layer; not part of the paper's own
+  // mixes, which is why these default to zero and sit after the aggregate
+  // fields the paper mixes initialize). When scan_pct > 0, that share of
+  // the dice budget is taken from the *tail* of the distribution (after
+  // contains/insert/remove), and each scan walks range(key, key+scan_len).
+  unsigned scan_pct = 0;       // percentage of range-scan ops
+  std::int64_t scan_len = 64;  // keys spanned per scan: [k, k+scan_len)
+
   /// Steady-state size the structure is prefilled to before the timed
   /// trial. The paper fills to 1/2 of the range for symmetric mixes and to
   /// 2/3 for the 2:1 insert:remove mix (the expected steady-state size).

@@ -14,7 +14,7 @@
 // scripts/check.sh can surface the artifact.
 //
 // These tests compile the trees with LOT_SCHEDULE_PERTURB (see
-// tests/stress/CMakeLists.txt), so the named points in lo/map.hpp and
+// tests/stress/CMakeLists.txt), so the named points in lo/core.hpp and
 // lo/rebalance.hpp inject randomized pauses that widen the algorithm's
 // race windows — on the single-core CI box, that is where essentially all
 // mid-operation interleavings come from.
@@ -63,6 +63,9 @@ struct StressParams {
   std::uint32_t fire_permille = 30; // phase-0 intensity; later phases escalate
   std::uint32_t max_sleep_us = 60;
   bool prefill = true;              // recorded half-dense prefill
+  unsigned scan_pct = 0;            // taken from the erase share's tail
+  std::int64_t scan_len = 12;       // keys spanned per recorded scan
+  bool partial = false;             // logical-removing map: relax validation
 };
 
 template <typename KeyT>
@@ -112,8 +115,12 @@ template <typename MapT>
 StressOutcome<typename MapT::key_type> run_perturbed_stress(
     MapT& map, const StressParams& p) {
   using K = typename MapT::key_type;
+  // Worst case, every op is a scan and each scan records scan_len per-key
+  // observations — scan-enabled campaigns size ops_per_phase accordingly.
+  const std::size_t events_per_op =
+      p.scan_pct > 0 ? static_cast<std::size_t>(p.scan_len) : 1;
   const std::size_t capacity =
-      p.ops_per_phase * static_cast<std::size_t>(p.phases) +
+      p.ops_per_phase * static_cast<std::size_t>(p.phases) * events_per_op +
       static_cast<std::size_t>(p.key_range) + 8;
   check::HistoryRecorder<K> rec(p.threads, capacity);
 
@@ -150,9 +157,17 @@ StressOutcome<typename MapT::key_type> run_perturbed_stress(
           } else if (dice < p.contains_pct + p.insert_pct) {
             rec.record(t, check::Op::kInsert, key,
                        [&] { return map.insert(key, key); });
-          } else {
+          } else if (dice < 100 - p.scan_pct) {
             rec.record(t, check::Op::kRemove, key,
                        [&] { return map.erase(key); });
+          } else {
+            // Recorded range scan, decomposed by the recorder into
+            // per-key contains observations (check/history.hpp) that the
+            // linearizability checker validates like any other reads.
+            rec.record_scan(t, key, static_cast<K>(key + p.scan_len),
+                            [&](const K& lo, const K& hi, auto&& sink) {
+                              map.range(lo, hi, sink);
+                            });
           }
         }
         barrier.arrive_and_wait();  // (2) everyone parked: quiescent point
@@ -163,7 +178,7 @@ StressOutcome<typename MapT::key_type> run_perturbed_stress(
                           .count());
           std::fflush(stdout);
           phase_start = std::chrono::steady_clock::now();
-          const auto rep = lo::validate(map, p.check_heights);
+          const auto rep = lo::validate(map, p.check_heights, p.partial);
           EXPECT_TRUE(rep.ok) << "structural validation failed after phase "
                               << phase << ":\n"
                               << rep.to_string();
@@ -186,7 +201,7 @@ StressOutcome<typename MapT::key_type> run_perturbed_stress(
 
   EXPECT_FALSE(rec.overflowed()) << "history log overflow: grow capacity";
   {
-    const auto rep = lo::validate(map, p.check_heights);
+    const auto rep = lo::validate(map, p.check_heights, p.partial);
     EXPECT_TRUE(rep.ok) << "final structural validation failed:\n"
                         << rep.to_string();
   }

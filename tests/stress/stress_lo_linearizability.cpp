@@ -1,6 +1,6 @@
 // Schedule-perturbed linearizability stress for the logical-ordering
 // trees. Compiled with LOT_SCHEDULE_PERTURB: the named points inside
-// lo/map.hpp and lo/rebalance.hpp inject randomized pauses, widening the
+// lo/core.hpp and lo/rebalance.hpp inject randomized pauses, widening the
 // relocation / rotation / half-linked windows; every operation's
 // invocation, response and result are recorded and the merged history is
 // checked against set semantics offline. This is the harness the ISSUE's
@@ -13,6 +13,7 @@
 #include "check/perturb.hpp"
 #include "lo/avl.hpp"
 #include "lo/bst.hpp"
+#include "lo/partial.hpp"
 #include "stress_common.hpp"
 #include "workload/driver.hpp"
 
@@ -90,6 +91,59 @@ TYPED_TEST(LoLinearizabilityStress, SingleKeyContentionExercisesSearch) {
   EXPECT_GT(out.result.stats.configs_explored, 0u);
 }
 
+// Scan-enabled campaign over all four tree variants (PR 4's ordered
+// layer): range scans ride in the op mix, each decomposed by the recorder
+// into per-key contains observations the checker validates like any other
+// reads — a scan that misses a stably-present key, reports a never-present
+// one, or resurrects a removed key renders the history non-linearizable.
+// The logical-removing variants additionally race scans against
+// revive-in-place and opportunistic purges.
+template <typename MapT>
+class LoScanStress : public ::testing::Test {};
+
+using ScanImpls = ::testing::Types<
+    lot::lo::BstMap<K, K>, lot::lo::AvlMap<K, K>,
+    lot::lo::PartialBstMap<K, K>, lot::lo::PartialAvlMap<K, K>>;
+TYPED_TEST_SUITE(LoScanStress, ScanImpls);
+
+TYPED_TEST(LoScanStress, PerturbedScanChurnIsLinearizable) {
+  TypeParam map;
+  StressParams p;
+  p.phases = 2;
+  // Each scan records scan_len observations; ops_per_phase is sized so the
+  // worst-case per-thread log (ops * scan_len) stays modest.
+  p.ops_per_phase = scaled(4'000);
+  p.scan_pct = 15;  // erase share becomes 100 - 40 - 30 - 15 = 15
+  p.scan_len = 12;
+  p.check_heights = TypeParam::kBalanced;
+  p.partial = TypeParam::kLogicalRemoving;
+  const auto out = run_perturbed_stress(map, p);
+  lot::stress::print_check_stats(TypeParam::name().data(), out);
+  lot::stress::expect_linearizable(out);
+
+  // The scans must actually have been perturbed mid-walk; with ~5760
+  // kRangeStep probes per run even the scaled-down tsan twin hits this
+  // hundreds of times.
+  EXPECT_GT(lot::check::perturb_hits(PerturbPoint::kRangeStep), 0u);
+  // The rarer write-side hooks (a relocation fires on a successful
+  // two-children erase only — tens of expected hits at full scale) are
+  // asserted only in the full-fat build: the tsan twin's
+  // LOT_STRESS_DIVISOR=20 run is small enough for an unlucky schedule to
+  // legitimately land zero hits.
+  if (LOT_STRESS_DIVISOR == 1) {
+    EXPECT_GT(lot::check::perturb_hits(PerturbPoint::kInsertHalfLinked), 0u);
+    EXPECT_GT(lot::check::perturb_hits(PerturbPoint::kEraseAfterMark), 0u);
+    if (TypeParam::kBalanced) {
+      EXPECT_GT(lot::check::perturb_hits(PerturbPoint::kRotate), 0u);
+    }
+    if (!TypeParam::kLogicalRemoving) {
+      // Two-child removals relocate the successor under the scan's feet.
+      EXPECT_GT(lot::check::perturb_hits(PerturbPoint::kRelocateDetached),
+                0u);
+    }
+  }
+}
+
 // The workload driver's history-capture mode feeds the same checker: an
 // empty map, the default mixed spec, 8 recorded threads.
 TEST(DriverCapture, RecordedTrialHistoryIsLinearizable) {
@@ -118,6 +172,43 @@ TEST(DriverCapture, RecordedTrialHistoryIsLinearizable) {
   lot::stress::expect_linearizable(out);
 
   const auto rep = lot::lo::validate(map, /*check_heights=*/false);
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+}
+
+// Capture mode again with scans in the spec, end to end through the
+// driver's record_scan branch (workload/driver.hpp).
+TEST(DriverCapture, RecordedScanTrialHistoryIsLinearizable) {
+  lot::lo::AvlMap<K, K> map;
+  lot::workload::Spec spec;
+  spec.name = "stress-scan-capture";
+  spec.contains_pct = 30;
+  spec.insert_pct = 25;
+  spec.remove_pct = 25;  // remaining 20% are range scans
+  spec.scan_pct = 20;
+  spec.scan_len = 8;
+  spec.key_range = 128;
+  const unsigned threads = 8;
+  const std::uint64_t ops = scaled(4'000);
+  // Worst case every op is a scan of scan_len recorded observations.
+  lot::check::HistoryRecorder<K> rec(
+      threads, ops * static_cast<std::uint64_t>(spec.scan_len) + 1);
+
+  lot::check::reset_perturb_hits();
+  lot::check::set_perturbation(40, 50);
+  lot::check::enable_perturbation(true);
+  const auto trial =
+      lot::workload::run_recorded_trial(map, spec, threads, ops, 11, rec);
+  lot::check::enable_perturbation(false);
+
+  EXPECT_EQ(trial.total_ops, threads * ops);
+  ASSERT_FALSE(rec.overflowed());
+  const auto out = lot::stress::check_history(rec.merged());
+  lot::stress::print_check_stats("driver scan capture", out);
+  lot::stress::expect_linearizable(out);
+  EXPECT_GT(lot::check::perturb_hits(lot::check::PerturbPoint::kRangeStep),
+            0u);
+
+  const auto rep = lot::lo::validate(map, /*check_heights=*/true);
   EXPECT_TRUE(rep.ok) << rep.to_string();
 }
 

@@ -10,13 +10,34 @@
 #include <thread>
 #include <vector>
 
+#include "adapters/map_concept.hpp"
 #include "baselines/efrb/efrb.hpp"
 #include "baselines/skiplist/skiplist.hpp"
 #include "lo/avl.hpp"
+#include "lo/bst.hpp"
+#include "lo/partial.hpp"
 #include "lo/validate.hpp"
 #include "util/random.hpp"
 
 namespace {
+
+// Compile-time guard for the tightened OrderedMap concept (the full
+// ordered surface: min/max, for_each, range, first/last_in_range). The
+// on-time maps must satisfy it for *any* value type, including
+// non-trivially-copyable ones; the logical-removing maps hold values in a
+// std::atomic<V> slot for revive-in-place, so they satisfy it only for
+// trivially-copyable V — that constraint is theirs alone, not the
+// concept's.
+static_assert(lot::adapters::OrderedMap<
+              lot::lo::AvlMap<std::int64_t, std::string>>);
+static_assert(lot::adapters::OrderedMap<
+              lot::lo::BstMap<std::string, std::vector<int>>>);
+static_assert(lot::adapters::OrderedMap<
+              lot::lo::PartialAvlMap<std::int64_t, std::int64_t>>);
+static_assert(lot::adapters::OrderedMap<
+              lot::lo::PartialBstMap<std::int64_t, double>>);
+static_assert(lot::adapters::OrderedMap<
+              lot::baselines::SkipListMap<std::string, std::string>>);
 
 TEST(GenericTypes, StringKeysAndValues) {
   lot::lo::AvlMap<std::string, std::string> m;
@@ -33,6 +54,16 @@ TEST(GenericTypes, StringKeysAndValues) {
     keys.push_back(k);
   });
   EXPECT_EQ(keys, (std::vector<std::string>{"apple", "kiwi", "zebra"}));
+
+  // The ordered surface is fully generic too: range over string keys.
+  keys.clear();
+  m.range("aardvark", "kiwi", [&](const std::string& k, const std::string&) {
+    keys.push_back(k);
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple"}));
+  EXPECT_EQ(m.first_in_range("a", "z").value().first, "apple");
+  EXPECT_EQ(m.last_in_range("a", "z").value().first, "kiwi");  // "z" < "zebra"
+  EXPECT_EQ(m.last_in_range("a", "zz").value().first, "zebra");
 
   EXPECT_TRUE(m.erase("kiwi"));
   EXPECT_FALSE(m.contains("kiwi"));
