@@ -1,0 +1,85 @@
+// Observability-overhead ablation (DESIGN.md §12, EXPERIMENTS.md A8): what
+// does the always-on telemetry cost?
+//
+// The A/B runs across two build trees — this binary compiled from the
+// default build (LOT_OBS=ON) and again from build-noobs/ (-DLOT_OBS=OFF) —
+// so every impl label carries the build's obs state ("/obs=on" vs
+// "/obs=off") and scripts/bench_snapshot.sh can merge both JSON row sets
+// into one BENCH_5.json. The acceptance number is the on-vs-off delta on
+// the 100%-read mix: counters alone must cost <= 3%.
+//
+// Series (ON builds only — sampling without the layer is meaningless):
+//   lo-avl/obs=on            — counters only, no latency sampling
+//   lo-avl/obs=on+sample64   — counters + 1-in-64 latency sampling, the
+//                              --obs bench configuration (quantifies what
+//                              the sampling knob itself adds)
+//
+// --report additionally dumps a full registry snapshot (text + JSON) after
+// the run — the scripts/obs_report.sh surface.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench/common.hpp"
+#include "lo/avl.hpp"
+#include "obs/obs.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using K = std::int64_t;
+using Avl = lot::lo::AvlMap<K, K>;
+
+std::string label(const char* base, bool sampled) {
+  std::string s(base);
+  s += lot::obs::kEnabled ? "/obs=on" : "/obs=off";
+  if (sampled) s += "+sample64";
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lot::util::Cli cli(argc, argv);
+  auto cfg = lot::bench::TableConfig::from_cli(cli);
+  if (!cli.has("threads") && !cli.has("paper")) cfg.threads = {1, 4, 8};
+  if (!cli.has("ranges") && !cli.has("paper")) cfg.key_ranges = {20'000};
+  lot::bench::JsonReport report;
+
+  std::printf("observability layer: %s\n",
+              lot::obs::kEnabled ? "compiled in (LOT_OBS=ON)"
+                                 : "compiled out (LOT_OBS=OFF)");
+
+  for (const auto range : cfg.key_ranges) {
+    for (const auto mix :
+         {lot::workload::Mix::k100C, lot::workload::Mix::k50C25I25R}) {
+      const auto spec = lot::workload::make_spec(mix, range);
+      lot::bench::print_cell_header("Observability ablation", spec);
+      std::vector<std::pair<std::string, lot::bench::Series>> series;
+      series.emplace_back(label("lo-avl", false),
+                          lot::bench::run_series<Avl>(spec, cfg));
+      if (lot::obs::kEnabled) {
+        auto sampled_cfg = cfg;
+        sampled_cfg.obs = true;  // turns on latency_sample_every
+        series.emplace_back(
+            label("lo-avl", true),
+            lot::bench::run_series<Avl>(spec, sampled_cfg));
+      }
+      lot::bench::print_series_table(cfg.threads, series);
+      for (const auto& [name, cells] : series) {
+        report.add("ablation_obs", spec, cfg, name, cells);
+      }
+    }
+  }
+  lot::bench::maybe_write_json(cli, report);
+
+  if (cli.has("report")) {
+    const auto snap = lot::obs::Registry::instance().snapshot();
+    std::printf("\n--- registry snapshot (text) ---\n%s",
+                snap.to_text().c_str());
+    std::printf("\n--- registry snapshot (json) ---\n%s\n",
+                snap.to_json().c_str());
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "workload/driver.hpp"
@@ -30,6 +31,11 @@ struct TableConfig {
   double secs = 0.3;
   int repeats = 1;
   std::uint64_t seed = 42;
+  // --obs: per-cell telemetry column — sampled latency quantiles, restart
+  // counters and the contains_restarts audit ride along in the table and
+  // the JSON rows. Requires an LOT_OBS=ON build to produce numbers.
+  bool obs = false;
+  unsigned obs_sample = 64;  // --obs-sample=N: time 1 op in N
 
   static TableConfig from_cli(const util::Cli& cli) {
     TableConfig cfg;
@@ -49,8 +55,24 @@ struct TableConfig {
     cfg.secs = cli.get_double("secs", cfg.secs);
     cfg.repeats = static_cast<int>(cli.get_int("repeats", cfg.repeats));
     cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    cfg.obs = cli.has("obs");
+    cfg.obs_sample =
+        static_cast<unsigned>(cli.get_int("obs-sample", cfg.obs_sample));
     return cfg;
   }
+};
+
+/// Telemetry column of one cell (populated when the run passed --obs on an
+/// LOT_OBS=ON build; otherwise `enabled` stays false and neither the table
+/// nor the JSON emit it).
+struct ObsCell {
+  bool enabled = false;
+  std::int64_t contains_restarts = 0;  // the derived audit over the cell
+  std::uint64_t insert_restarts = 0;
+  std::uint64_t erase_restarts = 0;
+  std::uint64_t rotations = 0;
+  obs::HistogramStats contains_lat{};
+  obs::HistogramStats insert_lat{};
 };
 
 /// One (implementation, thread-count) cell: the median throughput across
@@ -60,6 +82,7 @@ struct Cell {
   double min = 0;
   double max = 0;
   std::vector<double> samples;
+  ObsCell obs;
 };
 
 /// One implementation's cells across the thread sweep.
@@ -68,15 +91,36 @@ using Series = std::vector<Cell>;
 template <typename MapT>
 Series run_series(const workload::Spec& spec, const TableConfig& cfg) {
   Series out;
+  const bool obs_on = cfg.obs && obs::kEnabled;
+  workload::Spec cell_spec = spec;
+  if (obs_on) cell_spec.latency_sample_every = cfg.obs_sample;
   for (const auto threads : cfg.threads) {
     Cell cell;
+    if (obs_on) obs::reset_latency_histograms();
+    const obs::Snapshot before = obs::Registry::instance().snapshot();
     for (int rep = 0; rep < cfg.repeats; ++rep) {
       MapT map;
       const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(rep);
-      workload::prefill(map, spec, static_cast<unsigned>(threads), seed);
+      workload::prefill(map, cell_spec, static_cast<unsigned>(threads), seed);
       const auto r = workload::run_trial(
-          map, spec, static_cast<unsigned>(threads), cfg.secs, seed + 1);
+          map, cell_spec, static_cast<unsigned>(threads), cfg.secs, seed + 1);
       cell.samples.push_back(r.mops_per_sec);
+    }
+    if (obs_on) {
+      const obs::Snapshot after = obs::Registry::instance().snapshot();
+      const auto d = [&](obs::Counter c) {
+        return after.counter(c) - before.counter(c);
+      };
+      cell.obs.enabled = true;
+      cell.obs.contains_restarts =
+          obs::Snapshot::contains_restarts_between(before, after);
+      cell.obs.insert_restarts = d(obs::Counter::kInsertRestarts);
+      cell.obs.erase_restarts = d(obs::Counter::kEraseRestarts);
+      cell.obs.rotations = d(obs::Counter::kRotations);
+      cell.obs.contains_lat = after.latency[static_cast<std::size_t>(
+          obs::OpKind::kContains)];
+      cell.obs.insert_lat =
+          after.latency[static_cast<std::size_t>(obs::OpKind::kInsert)];
     }
     const auto s = util::summarize(cell.samples);
     cell.median = util::percentile(cell.samples, 50.0);
@@ -116,12 +160,38 @@ inline void print_series_table(
       if (c.samples.size() > 1) any_spread = true;
     }
   }
-  if (!any_spread) return;
-  std::printf("  spread (min..max over repeats):\n");
+  if (any_spread) {
+    std::printf("  spread (min..max over repeats):\n");
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      std::printf("%8lld", static_cast<long long>(threads[i]));
+      for (const auto& [_, cells] : series) {
+        std::printf("  %12.3f..%-12.3f", cells[i].min, cells[i].max);
+      }
+      std::printf("\n");
+    }
+  }
+  bool any_obs = false;
+  for (const auto& [_, cells] : series) {
+    for (const auto& c : cells) {
+      if (c.obs.enabled) any_obs = true;
+    }
+  }
+  if (!any_obs) return;
+  std::printf(
+      "  obs (sampled contains p50/p99 ns | restarts i/e | audit):\n");
   for (std::size_t i = 0; i < threads.size(); ++i) {
     std::printf("%8lld", static_cast<long long>(threads[i]));
     for (const auto& [_, cells] : series) {
-      std::printf("  %12.3f..%-12.3f", cells[i].min, cells[i].max);
+      const ObsCell& o = cells[i].obs;
+      if (!o.enabled) {
+        std::printf("  %28s", "-");
+        continue;
+      }
+      std::printf("  %7.0f/%-7.0f %6llu/%-6llu cr=%lld",
+                  o.contains_lat.p50_ns, o.contains_lat.p99_ns,
+                  static_cast<unsigned long long>(o.insert_restarts),
+                  static_cast<unsigned long long>(o.erase_restarts),
+                  static_cast<long long>(o.contains_restarts));
     }
     std::printf("\n");
   }
@@ -173,7 +243,26 @@ class JsonReport {
       for (std::size_t j = 0; j < r.cell.samples.size(); ++j) {
         std::fprintf(f, "%s%.4f", j == 0 ? "" : ", ", r.cell.samples[j]);
       }
-      std::fprintf(f, "]}%s\n", i + 1 < rows_.size() ? "," : "");
+      std::fprintf(f, "]");
+      if (r.cell.obs.enabled) {
+        const ObsCell& o = r.cell.obs;
+        std::fprintf(
+            f,
+            ", \"obs\": {\"contains_restarts\": %lld, "
+            "\"insert_restarts\": %llu, \"erase_restarts\": %llu, "
+            "\"rotations\": %llu, \"contains_p50_ns\": %.1f, "
+            "\"contains_p99_ns\": %.1f, \"insert_p50_ns\": %.1f, "
+            "\"insert_p99_ns\": %.1f, \"lat_samples\": %llu}",
+            static_cast<long long>(o.contains_restarts),
+            static_cast<unsigned long long>(o.insert_restarts),
+            static_cast<unsigned long long>(o.erase_restarts),
+            static_cast<unsigned long long>(o.rotations),
+            o.contains_lat.p50_ns, o.contains_lat.p99_ns,
+            o.insert_lat.p50_ns, o.insert_lat.p99_ns,
+            static_cast<unsigned long long>(o.contains_lat.count +
+                                            o.insert_lat.count));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

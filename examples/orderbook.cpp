@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "lo/avl.hpp"
+#include "obs/obs.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -154,6 +155,17 @@ int main() {
     std::printf("last bid level below mid:     %lld x%lld\n",
                 static_cast<long long>(lvl->first),
                 static_cast<long long>(lvl->second));
+  }
+
+  // What the run cost, from the tree's own telemetry (obs/ layer): insert
+  // and erase restart rates, rotations, EBR/pool gauges — and the derived
+  // contains_restarts audit, which must read 0 because min()/max() and
+  // range() never re-descend. Compiled out (prints "enabled: false")
+  // under -DLOT_OBS=OFF.
+  if (lot::obs::kEnabled) {
+    std::printf("\n");
+    std::fputs(lot::obs::Registry::instance().snapshot().to_text().c_str(),
+               stdout);
   }
   return 0;
 }

@@ -10,6 +10,9 @@
 #   BENCH_3.json — allocator/layout ablation (ablation_alloc)
 #   BENCH_4.json — range-scan ablation, tree vs skiplist over a
 #                  scan-length sweep (ablation_range)
+#   BENCH_5.json — observability overhead (ablation_obs), merged rows from
+#                  the default build (LOT_OBS=ON) and build-noobs/
+#                  (LOT_OBS=OFF); impl labels carry the build's obs state
 #
 # Usage: scripts/bench_snapshot.sh [out.json]
 # The target ablation is picked from the output name; default BENCH_4.json.
@@ -25,16 +28,40 @@ THREADS="${LOT_BENCH_THREADS:-1,4,8}"
 
 case "$OUT" in
   *BENCH_3*) TARGET=ablation_alloc ;;
+  *BENCH_5*) TARGET=ablation_obs ;;
   *) TARGET=ablation_range ;;
 esac
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target "$TARGET" >/dev/null
 
+# Merges two lot-bench-v1 files by concatenating their rows arrays. The
+# schema is rigid (one row per line, fixed head/tail), so plain text
+# surgery is reliable and avoids a JSON-tool dependency.
+merge_rows() {  # merge_rows a.json b.json out.json
+  head -n 3 "$1" > "$3"
+  sed -n 's/^    {/    {/p' "$1" | sed '$s/}$/},/' >> "$3"
+  sed -n 's/^    {/    {/p' "$2" >> "$3"
+  printf '  ]\n}\n' >> "$3"
+}
+
 if [ "$TARGET" = ablation_alloc ]; then
   ./build/bench/ablation_alloc \
     --threads="$THREADS" --ranges=20000 \
     --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
+elif [ "$TARGET" = ablation_obs ]; then
+  # A/B across build trees: the same binary from an LOT_OBS=ON and an
+  # LOT_OBS=OFF build, rows merged into one file (labels disambiguate).
+  cmake -B build-noobs -S . -DLOT_OBS=OFF >/dev/null
+  cmake --build build-noobs -j "$(nproc)" --target ablation_obs >/dev/null
+  ./build/bench/ablation_obs \
+    --threads="$THREADS" --ranges=20000 \
+    --secs="$SECS" --repeats="$REPEATS" --json="${OUT}.on.tmp"
+  ./build-noobs/bench/ablation_obs \
+    --threads="$THREADS" --ranges=20000 \
+    --secs="$SECS" --repeats="$REPEATS" --json="${OUT}.off.tmp"
+  merge_rows "${OUT}.on.tmp" "${OUT}.off.tmp" "$OUT"
+  rm -f "${OUT}.on.tmp" "${OUT}.off.tmp"
 else
   ./build/bench/ablation_range \
     --threads="$THREADS" --ranges=20000 --scanlens=16,64,256 \

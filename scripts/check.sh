@@ -22,7 +22,11 @@
 #      linearizability checks;
 #   6. the LOT_POOL_ALLOC=OFF escape hatch (build-nopool/): the full
 #      non-stress suite plus the fault campaign recompiled against plain
-#      new/delete, so the pool never becomes load-bearing for correctness.
+#      new/delete, so the pool never becomes load-bearing for correctness;
+#   7. the LOT_OBS=OFF build (build-noobs/): the non-stress suite with the
+#      observability layer compiled out — test_obs's static_asserts prove
+#      the hook handles are empty types, and the run proves the trees never
+#      grew a functional dependence on their own telemetry.
 #
 # A non-linearizable history makes the stress tests dump the complete
 # trace + violation witness to $LOT_HISTORY_DUMP; this script pins that
@@ -46,37 +50,44 @@ fail() {
   exit 1
 }
 
-echo "== stage 1/6: tier-1 build + test =="
+echo "== stage 1/7: tier-1 build + test =="
 cmake -B build -S . >/dev/null || fail "configure"
 cmake --build build -j "$(nproc)" >/dev/null || fail "build"
 (cd build && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "tier-1 ctest"
 
-echo "== stage 2/6: perturbed linearizability + fault-injection stress =="
+echo "== stage 2/7: perturbed linearizability + fault-injection stress =="
 (cd build && ctest --output-on-failure -R "$STRESS_RE") \
   || fail "stress + checker"
 
-echo "== stage 3/6: ThreadSanitizer preset =="
+echo "== stage 3/7: ThreadSanitizer preset =="
 cmake --preset tsan >/dev/null || fail "tsan configure"
 cmake --build --preset tsan -j "$(nproc)" >/dev/null || fail "tsan build"
 # The explicit -E overrides the preset's own exclude filter, so it must
 # re-state the SeededBug exclusion alongside the scan stress deferral.
 ctest --preset tsan -E "SeededBug|$SCAN_RE" || fail "tsan ctest"
 
-echo "== stage 4/6: scan-enabled linearizability stress under TSan =="
+echo "== stage 4/7: scan-enabled linearizability stress under TSan =="
 ctest --preset tsan -R "$SCAN_RE" || fail "tsan scan stress"
 
-echo "== stage 5/6: AddressSanitizer+LeakSanitizer preset =="
+echo "== stage 5/7: AddressSanitizer+LeakSanitizer preset =="
 cmake --preset asan >/dev/null || fail "asan configure"
 cmake --build --preset asan -j "$(nproc)" >/dev/null || fail "asan build"
 ctest --preset asan || fail "asan ctest"
 
-echo "== stage 6/6: LOT_POOL_ALLOC=OFF build + test =="
+echo "== stage 6/7: LOT_POOL_ALLOC=OFF build + test =="
 cmake -B build-nopool -S . -DLOT_POOL_ALLOC=OFF >/dev/null \
   || fail "nopool configure"
 cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
 (cd build-nopool && ctest --output-on-failure -j "$(nproc)" \
   -E 'LoLinearizabilityStress|LoScanStress|SeededBug|DriverCapture') \
   || fail "nopool ctest (incl. fault campaign)"
+
+echo "== stage 7/7: LOT_OBS=OFF build + test =="
+cmake -B build-noobs -S . -DLOT_OBS=OFF >/dev/null \
+  || fail "noobs configure"
+cmake --build build-noobs -j "$(nproc)" >/dev/null || fail "noobs build"
+(cd build-noobs && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
+  || fail "noobs ctest"
 
 echo "check.sh: all stages passed"

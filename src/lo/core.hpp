@@ -73,6 +73,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
@@ -82,6 +83,7 @@
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
 #include "lo/rebalance.hpp"
+#include "obs/counters.hpp"
 #include "reclaim/ebr.hpp"
 #include "reclaim/pool.hpp"
 #include "sync/backoff.hpp"
@@ -164,15 +166,21 @@ class LoCore {
   bool contains(const K& k) const {
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallReader);
-    const NodeT* node = locate(k);
-    return cmp(node, k) == 0 && is_present(node);
+    const auto tc = obs::tls();
+    tc.add(obs::Counter::kContainsOps);
+    const NodeT* node = locate(k, tc);
+    const bool hit = cmp(node, k) == 0 && is_present(node);
+    if (hit) tc.add(obs::Counter::kContainsHits);
+    return hit;
   }
 
   /// Lock-free lookup; empty if the key is absent.
   std::optional<V> get(const K& k) const {
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallReader);
-    const NodeT* node = locate(k);
+    const auto tc = obs::tls();
+    tc.add(obs::Counter::kGetOps);
+    const NodeT* node = locate(k, tc);
     if (cmp(node, k) != 0) return std::nullopt;
     // Read the value before re-checking presence so (logical removing) a
     // racing revive cannot hand us a value newer than the presence
@@ -188,6 +196,7 @@ class LoCore {
   /// removing, past zombies).
   std::optional<std::pair<K, V>> min() const {
     auto g = domain_->guard();
+    obs::count(obs::Counter::kMinMaxOps);
     const NodeT* node = neg_->succ.load(std::memory_order_acquire);
     while (node != pos_) {
       const V v = read_value(node);
@@ -199,6 +208,7 @@ class LoCore {
 
   std::optional<std::pair<K, V>> max() const {
     auto g = domain_->guard();
+    obs::count(obs::Counter::kMinMaxOps);
     const NodeT* node = pos_->pred.load(std::memory_order_acquire);
     while (node != neg_) {
       const V v = read_value(node);
@@ -240,16 +250,23 @@ class LoCore {
     if (!comp_(lo, hi)) return;
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallReader);
-    const NodeT* node = locate(lo);  // first node with key >= lo
+    const auto tc = obs::tls();
+    tc.add(obs::Counter::kRangeOps);
+    std::uint64_t reported = 0;
+    const NodeT* node = locate(lo, tc);  // first node with key >= lo
     while (node != pos_ &&
            (node->tag == Tag::kNegInf || comp_(node->key, hi))) {
       check::perturb_point(check::PerturbPoint::kRangeStep);
       if (node->tag == Tag::kNormal && !comp_(node->key, lo)) {
         const V v = read_value(node);
-        if (is_present(node)) fn(node->key, v);
+        if (is_present(node)) {
+          fn(node->key, v);
+          ++reported;
+        }
       }
       node = node->succ.load(std::memory_order_acquire);
     }
+    if (reported != 0) tc.add(obs::Counter::kRangeKeysReported, reported);
   }
 
   /// Smallest present key in [lo, hi), or empty. Same consistency
@@ -258,7 +275,9 @@ class LoCore {
                                                 const K& hi) const {
     if (!comp_(lo, hi)) return std::nullopt;
     auto g = domain_->guard();
-    const NodeT* node = locate(lo);
+    const auto tc = obs::tls();
+    tc.add(obs::Counter::kOrderedLocates);
+    const NodeT* node = locate(lo, tc);
     while (node != pos_ &&
            (node->tag == Tag::kNegInf || comp_(node->key, hi))) {
       if (node->tag == Tag::kNormal && !comp_(node->key, lo)) {
@@ -277,7 +296,9 @@ class LoCore {
                                                const K& hi) const {
     if (!comp_(lo, hi)) return std::nullopt;
     auto g = domain_->guard();
-    const NodeT* node = locate(hi);  // first node with key >= hi
+    const auto tc = obs::tls();
+    tc.add(obs::Counter::kOrderedLocates);
+    const NodeT* node = locate(hi, tc);  // first node with key >= hi
     while (node != neg_) {
       if (node->tag == Tag::kNormal) {
         if (comp_(node->key, lo)) break;  // walked below the range
@@ -296,7 +317,9 @@ class LoCore {
   /// from a located node, paper §3.1).
   std::optional<std::pair<K, V>> next(const K& k) const {
     auto g = domain_->guard();
-    const NodeT* node = locate(k);  // first node with key >= k
+    const auto tc = obs::tls();
+    tc.add(obs::Counter::kOrderedLocates);
+    const NodeT* node = locate(k, tc);  // first node with key >= k
     if (cmp(node, k) == 0) node = node->succ.load(std::memory_order_acquire);
     while (node != pos_) {
       const V v = read_value(node);
@@ -312,7 +335,9 @@ class LoCore {
   /// Largest present key strictly smaller than k (mirror of next()).
   std::optional<std::pair<K, V>> prev(const K& k) const {
     auto g = domain_->guard();
-    const NodeT* node = locate(k);
+    const auto tc = obs::tls();
+    tc.add(obs::Counter::kOrderedLocates);
+    const NodeT* node = locate(k, tc);
     while (node != neg_) {
       const V v = read_value(node);
       if (node->tag == Tag::kNormal && is_present(node) &&
@@ -403,6 +428,7 @@ class LoCore {
   bool insert(const K& k, const V& v) {
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallWriter);
+    const auto tc = obs::tls();
     NodeT* nn = nullptr;
     if constexpr (!kLogicalRemoving) {
       // Allocate before any lock acquisition or retry, so a throw leaves
@@ -411,7 +437,7 @@ class LoCore {
       nn = Alloc::template create<NodeT>(k, v);
     }
     for (;;) {
-      NodeT* node = search(k);
+      NodeT* node = search(k, tc);
       NodeT* p = cmp(node, k) >= 0
                      ? node->pred.load(std::memory_order_acquire)
                      : node;
@@ -428,11 +454,15 @@ class LoCore {
               s->deleted.store(false, std::memory_order_release);
               p->succ_lock.unlock();
               if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
+              tc.add(obs::Counter::kInsertOps);
+              tc.add(obs::Counter::kInsertSuccess);
+              tc.add(obs::Counter::kInsertRevives);
               return true;
             }
           }
           p->succ_lock.unlock();
           if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
+          tc.add(obs::Counter::kInsertOps);
           return false;  // unsuccessful insert
         }
         if constexpr (kLogicalRemoving) {
@@ -441,6 +471,9 @@ class LoCore {
             // holding the interval lock (the revive path must stay
             // allocation-free). Drop it, allocate, revalidate.
             p->succ_lock.unlock();
+            // Counted before the allocation so a thrown bad_alloc leaves
+            // the descent accounting balanced (DESIGN.md §12).
+            tc.add(obs::Counter::kInsertRestarts);
             inject::throw_if_alloc_fault(RemovalPolicy::kInsertAllocSite);
             nn = Alloc::template create<NodeT>(k, v);
             continue;
@@ -465,10 +498,13 @@ class LoCore {
         s->pred.store(nn, std::memory_order_release);
         p->succ_lock.unlock();
         check::perturb_point(check::PerturbPoint::kInsertBeforeTreeLink);
+        tc.add(obs::Counter::kInsertOps);
+        tc.add(obs::Counter::kInsertSuccess);
         insert_to_tree(parent, nn);
         return true;
       }
       p->succ_lock.unlock();  // validation failed; restart
+      tc.add(obs::Counter::kInsertRestarts);
     }
   }
 
@@ -481,8 +517,9 @@ class LoCore {
   bool erase(const K& k) {
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallWriter);
+    const auto tc = obs::tls();
     for (;;) {
-      NodeT* node = search(k);
+      NodeT* node = search(k, tc);
       NodeT* p = cmp(node, k) >= 0
                      ? node->pred.load(std::memory_order_acquire)
                      : node;
@@ -496,6 +533,7 @@ class LoCore {
         }
         if (absent) {
           p->succ_lock.unlock();
+          tc.add(obs::Counter::kEraseOps);
           return false;  // unsuccessful remove
         }
         // Successful removal of s. Succ locks strictly precede tree locks
@@ -511,6 +549,9 @@ class LoCore {
             s->deleted.store(true, std::memory_order_release);
             s->succ_lock.unlock();
             p->succ_lock.unlock();
+            tc.add(obs::Counter::kEraseOps);
+            tc.add(obs::Counter::kEraseSuccess);
+            tc.add(obs::Counter::kEraseLogical);
             return true;
           }
         }
@@ -519,9 +560,14 @@ class LoCore {
         if (shape == RemovalShape::kOneChild) {
           unlink_node(s, np, child);
         } else {
-          if constexpr (!kLogicalRemoving) relocate_successor(s);
+          if constexpr (!kLogicalRemoving) {
+            tc.add(obs::Counter::kEraseRelocations);
+            relocate_successor(s);
+          }
         }
         domain_->template retire_via<Alloc>(s);
+        tc.add(obs::Counter::kEraseOps);
+        tc.add(obs::Counter::kEraseSuccess);
         if constexpr (kLogicalRemoving) {
           // Opportunistic purge (paper: deleted nodes become physically
           // removable when their child count drops): np may now qualify.
@@ -530,6 +576,7 @@ class LoCore {
         return true;
       }
       p->succ_lock.unlock();  // validation failed; restart
+      tc.add(obs::Counter::kEraseRestarts);
     }
   }
 
@@ -603,7 +650,12 @@ class LoCore {
 
   /// Algorithm 1: plain descent, no locks, no restarts. May stray from its
   /// path under concurrent rotations; the ordering walk compensates.
-  NodeT* search(const K& k) const {
+  NodeT* search(const K& k, obs::Tls tc = obs::tls()) const {
+    // Counted inside the descent itself — independently of the per-op
+    // counters at the call sites — so Snapshot::contains_restarts() is a
+    // measured audit, not an identity (DESIGN.md §12). Callers that
+    // already hold a Tls handle pass it in; the default resolves one.
+    tc.add(obs::Counter::kTreeDescents);
     NodeT* node = root_;
     for (;;) {
       const int c = cmp(node, k);
@@ -619,8 +671,8 @@ class LoCore {
   /// until at or below k, then succ until at or above k. Terminates
   /// because keys strictly decrease/increase along the walks (removed
   /// nodes keep their outgoing pointers; EBR keeps them alive).
-  const NodeT* locate(const K& k) const {
-    const NodeT* node = search(k);
+  const NodeT* locate(const K& k, obs::Tls tc = obs::tls()) const {
+    const NodeT* node = search(k, tc);
     check::perturb_point(check::PerturbPoint::kLocateAfterDescent);
 #if defined(LOT_INJECT_BUG)
     // Intentionally broken linearization (checker negative control): trust
@@ -643,8 +695,13 @@ class LoCore {
     // nodes keep pred pointers to strictly smaller keys and -inf is never
     // marked, so this terminates. (`deleted` zombies stay on the chain and
     // are NOT backed off — presence is the caller's verdict.)
+    std::uint64_t backoffs = 0;
     while (node->mark.load(std::memory_order_acquire)) {
       node = node->pred.load(std::memory_order_acquire);
+      ++backoffs;
+    }
+    if (backoffs != 0) {
+      tc.add(obs::Counter::kLocateMarkBackoffs, backoffs);
     }
     while (cmp(node, k) < 0) {
       node = node->succ.load(std::memory_order_acquire);
@@ -726,7 +783,10 @@ class LoCore {
   /// (see restart_balance in lo/rebalance.hpp).
   RemovalShape acquire_removal_locks(NodeT* n, NodeT*& np, NodeT*& child) {
     sync::Backoff backoff;
+    bool first = true;
     for (;;) {
+      if (!first) obs::count(obs::Counter::kRemovalLockRetries);
+      first = false;
       backoff.pause();
       n->tree_lock.lock();
       np = detail::lock_parent(n);
@@ -879,6 +939,7 @@ class LoCore {
         q->mark.load(std::memory_order_acquire)) {
       return false;
     }
+    obs::count(obs::Counter::kPurgeAttempts);
     NodeT* p = q->pred.load(std::memory_order_acquire);
     if (!p->succ_lock.try_lock()) return false;
     // Validate: p is still q's predecessor and both are live.
@@ -900,6 +961,7 @@ class LoCore {
     unlink_from_chain(p, q);
     unlink_node(q, np, child);
     domain_->template retire_via<Alloc>(q);
+    obs::count(obs::Counter::kPurgeSuccesses);
     return true;
   }
 

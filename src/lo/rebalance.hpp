@@ -24,6 +24,7 @@
 #include "check/perturb.hpp"
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
+#include "obs/counters.hpp"
 #include "sync/backoff.hpp"
 
 namespace lot::lo::detail {
@@ -36,6 +37,7 @@ namespace lot::lo::detail {
 /// edge case). On true: node locked, child locked or null.
 template <typename N>
 bool restart_balance(N* node, N*& parent, N*& child) {
+  obs::count(obs::Counter::kBalanceRestarts);
   if (parent != nullptr) {
     parent->tree_lock.unlock();
     parent = nullptr;
@@ -73,6 +75,7 @@ void rebalance(N* root, N* node, N* child, bool first_is_left) {
   N* parent = nullptr;
   bool first = true;
   while (node != root) {
+    obs::count(obs::Counter::kHeightPasses);
     bool is_left = (child != nullptr || !first)
                        ? (node->left.load(std::memory_order_relaxed) == child)
                        : first_is_left;
@@ -113,6 +116,7 @@ void rebalance(N* root, N* node, N* child, bool first_is_left) {
           continue;
         }
         check::perturb_point(check::PerturbPoint::kRotate);
+        obs::count(obs::Counter::kRotations);
         rotate(grand, child, node, is_left);
         child->tree_lock.unlock();
         child = grand;
@@ -121,6 +125,7 @@ void rebalance(N* root, N* node, N* child, bool first_is_left) {
       // Main rotation: node goes below its (taller) child.
       if (parent == nullptr) parent = lock_parent(node);
       check::perturb_point(check::PerturbPoint::kRotate);
+      obs::count(obs::Counter::kRotations);
       rotate(child, node, parent, !is_left);
 
       bf = node->balance_factor();

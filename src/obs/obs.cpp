@@ -1,0 +1,143 @@
+#include "obs/obs.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "reclaim/alloc_stats.hpp"
+
+namespace lot::obs {
+
+namespace {
+
+// Bounded-append helpers: the report is a few KiB of controlled
+// identifiers and integers, so snprintf into a std::string is plenty.
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Snapshot Registry::snapshot(const reclaim::EbrDomain* domain) const {
+  Snapshot s;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    s.counters[i] = counter_total(static_cast<Counter>(i));
+  }
+#if !defined(LOT_DISABLE_OBS)
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    s.latency[i] = latency_histogram(static_cast<OpKind>(i)).stats();
+  }
+#endif
+  const reclaim::EbrDomain& d =
+      domain != nullptr ? *domain : reclaim::EbrDomain::global_domain();
+  s.ebr = d.stats();
+  s.live_nodes = reclaim::AllocStats::live();
+  s.counter_shards = counter_shards();
+  return s;
+}
+
+void Registry::reset() {
+  reset_counters();
+  reset_latency_histograms();
+}
+
+std::string Snapshot::to_text() const {
+  std::string out;
+  out += "== obs snapshot ==\n";
+  appendf(out, "counters (%zu shards):\n", counter_shards);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    appendf(out, "  %-22s %12" PRIu64 "\n",
+            counter_name(static_cast<Counter>(i)), counters[i]);
+  }
+  appendf(out, "  %-22s %12lld  (derived; 0 == the paper's claim)\n",
+          "contains_restarts", static_cast<long long>(contains_restarts()));
+  out += "latency (sampled, ns):\n";
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const HistogramStats& h = latency[i];
+    if (h.count == 0) continue;
+    appendf(out,
+            "  %-8s n=%-9" PRIu64 " p50=%-8.0f p90=%-8.0f p99=%-8.0f "
+            "max=%" PRIu64 " mean=%.0f\n",
+            op_kind_name(static_cast<OpKind>(i)), h.count, h.p50_ns, h.p90_ns,
+            h.p99_ns, h.max_ns, h.mean_ns);
+  }
+  out += "gauges:\n";
+  appendf(out, "  epoch=%" PRIu64 " min_pinned=%" PRIu64 " lag=%" PRIu64
+               " pending_retired=%zu backlog_peak=%zu\n",
+          ebr.epoch, ebr.min_pinned_epoch, ebr.epoch_lag, ebr.pending_retired,
+          ebr.backlog_peak);
+  appendf(out, "  records=%zu/%zu pool_growths=%" PRIu64
+               " backpressure=%" PRIu64 " steals=%" PRIu64 " leaks=%" PRIu64
+               " stall_fires=%" PRIu64 "\n",
+          ebr.records_in_use, ebr.record_capacity, ebr.pool_growths,
+          ebr.backpressure_hits, ebr.backlog_steals, ebr.emergency_leaks,
+          ebr.stall_watchdog_fires);
+  appendf(out, "  pool: slabs=%" PRIu64 " allocs=%" PRIu64 " frees=%" PRIu64
+               " remote_frees=%" PRIu64 " harvests=%" PRIu64 "\n",
+          ebr.pool.slabs, ebr.pool.allocs, ebr.pool.frees,
+          ebr.pool.remote_frees, ebr.pool.harvests);
+  appendf(out, "  pool: fallback=%" PRIu64 "/%" PRIu64 " caches=%" PRIu64
+               "+%" PRIu64 " adopted; live_nodes=%" PRIu64 "\n",
+          ebr.pool.fallback_allocs, ebr.pool.fallback_frees,
+          ebr.pool.caches_created, ebr.pool.caches_adopted, live_nodes);
+  return out;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out;
+  out += "{\n  \"schema\": \"lot-obs-v1\",\n";
+  appendf(out, "  \"enabled\": %s,\n", kEnabled ? "true" : "false");
+  out += "  \"counters\": {";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    appendf(out, "%s\"%s\": %" PRIu64, i == 0 ? "" : ", ",
+            counter_name(static_cast<Counter>(i)), counters[i]);
+  }
+  out += "},\n";
+  appendf(out, "  \"contains_restarts\": %lld,\n",
+          static_cast<long long>(contains_restarts()));
+  out += "  \"latency_ns\": {";
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const HistogramStats& h = latency[i];
+    appendf(out,
+            "%s\"%s\": {\"count\": %" PRIu64 ", \"p50\": %.1f, "
+            "\"p90\": %.1f, \"p99\": %.1f, \"max\": %" PRIu64
+            ", \"mean\": %.1f}",
+            i == 0 ? "" : ", ", op_kind_name(static_cast<OpKind>(i)), h.count,
+            h.p50_ns, h.p90_ns, h.p99_ns, h.max_ns, h.mean_ns);
+  }
+  out += "},\n";
+  out += "  \"gauges\": {";
+  appendf(out, "\"epoch\": %" PRIu64 ", \"min_pinned_epoch\": %" PRIu64
+               ", \"epoch_lag\": %" PRIu64 ", \"pending_retired\": %zu, "
+               "\"backlog_peak\": %zu, \"records_in_use\": %zu, "
+               "\"record_capacity\": %zu, ",
+          ebr.epoch, ebr.min_pinned_epoch, ebr.epoch_lag, ebr.pending_retired,
+          ebr.backlog_peak, ebr.records_in_use, ebr.record_capacity);
+  appendf(out, "\"pool_growths\": %" PRIu64 ", \"backpressure_hits\": %" PRIu64
+               ", \"backlog_steals\": %" PRIu64 ", \"emergency_leaks\": %" PRIu64
+               ", \"stall_watchdog_fires\": %" PRIu64 ", ",
+          ebr.pool_growths, ebr.backpressure_hits, ebr.backlog_steals,
+          ebr.emergency_leaks, ebr.stall_watchdog_fires);
+  appendf(out, "\"pool_slabs\": %" PRIu64 ", \"pool_allocs\": %" PRIu64
+               ", \"pool_frees\": %" PRIu64 ", \"pool_remote_frees\": %" PRIu64
+               ", \"pool_harvests\": %" PRIu64 ", \"pool_fallback_allocs\": %" PRIu64
+               ", \"pool_fallback_frees\": %" PRIu64
+               ", \"pool_caches_created\": %" PRIu64
+               ", \"pool_caches_adopted\": %" PRIu64 ", \"live_nodes\": %" PRIu64
+               "}\n",
+          ebr.pool.slabs, ebr.pool.allocs, ebr.pool.frees,
+          ebr.pool.remote_frees, ebr.pool.harvests, ebr.pool.fallback_allocs,
+          ebr.pool.fallback_frees, ebr.pool.caches_created,
+          ebr.pool.caches_adopted, live_nodes);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lot::obs

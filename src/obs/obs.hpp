@@ -1,0 +1,100 @@
+// The observability registry: one place that aggregates the per-thread
+// counter shards (obs/counters.hpp), the latency histograms
+// (obs/histogram.hpp) and the reclamation/pool gauges
+// (EbrDomain::stats(), which already embeds PoolSnapshot) into a single
+// structured Snapshot, with text and JSON (schema "lot-obs-v1")
+// serializers.
+//
+// Snapshots are safe to take while threads are running: counters are
+// single-writer monotone atomics, so a live snapshot is a consistent
+// lower bound per counter and exact at quiescence. The derived
+// contains_restarts() audit (DESIGN.md §12) should therefore be read at
+// quiescence — the stress harness snapshots at its phase barriers.
+//
+// Building with LOT_DISABLE_OBS keeps this entire API compilable —
+// Snapshot comes back with zeroed counters/latency and live EBR/pool
+// gauges — only the hot-path hooks vanish.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "reclaim/ebr.hpp"
+
+namespace lot::obs {
+
+/// Point-in-time aggregate of every telemetry source.
+struct Snapshot {
+  std::array<std::uint64_t, kCounterCount> counters{};
+  std::array<HistogramStats, kOpKindCount> latency{};
+  reclaim::EbrDomain::Stats ebr{};    // incl. PoolSnapshot gauges
+  std::uint64_t live_nodes = 0;       // AllocStats::live()
+  std::size_t counter_shards = 0;
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+
+  /// The paper's "contains never restarts" claim as a measured number
+  /// (DESIGN.md §12): every tree descent (Algorithm 1, counted inside
+  /// search() itself) must be accounted for by exactly one locating read
+  /// or one write attempt. Reads perform one descent per call by
+  /// construction of the algorithm — if any read path ever re-descended,
+  /// descents would exceed the accounted sum and this would go positive.
+  /// Writes re-descend only on validation failure, which the restart
+  /// counters measure independently. Signed: a mid-run snapshot can
+  /// transiently see more ops than descents (the descent is counted
+  /// before the op completes); at quiescence the value is exact.
+  std::int64_t contains_restarts() const {
+    const std::uint64_t accounted =
+        counter(Counter::kContainsOps) + counter(Counter::kGetOps) +
+        counter(Counter::kRangeOps) + counter(Counter::kOrderedLocates) +
+        counter(Counter::kInsertOps) + counter(Counter::kInsertRestarts) +
+        counter(Counter::kEraseOps) + counter(Counter::kEraseRestarts);
+    return static_cast<std::int64_t>(counter(Counter::kTreeDescents)) -
+           static_cast<std::int64_t>(accounted);
+  }
+
+  /// The same audit over a window of counter deltas. Process-lifetime
+  /// balance is meaningless in binaries that bump counters synthetically
+  /// (tests), and benchmarks want the audit per cell — both diff two
+  /// quiescent snapshots instead.
+  static std::int64_t contains_restarts_between(const Snapshot& s0,
+                                                const Snapshot& s1) {
+    Snapshot d;
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      d.counters[i] = s1.counters[i] - s0.counters[i];
+    }
+    return d.contains_restarts();
+  }
+
+  /// Human-readable multi-line report (scripts/obs_report.sh,
+  /// examples/orderbook.cpp).
+  std::string to_text() const;
+
+  /// Schema "lot-obs-v1": flat JSON object with counters{}, latency{},
+  /// gauges{} and the derived contains_restarts.
+  std::string to_json() const;
+};
+
+/// Process-wide singleton front door.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Aggregates counters + histograms + gauges. `domain` defaults to the
+  /// global EBR domain shared by all trees.
+  Snapshot snapshot(const reclaim::EbrDomain* domain = nullptr) const;
+
+  /// Zeroes counters and histograms (gauges are owned by their layers and
+  /// stay). Quiescence only — benchmark cells reset between runs.
+  void reset();
+
+ private:
+  Registry() = default;
+};
+
+}  // namespace lot::obs

@@ -38,6 +38,7 @@ struct PoolSnapshot {
   std::uint64_t allocs = 0;           // slots handed out (excludes fallback)
   std::uint64_t frees = 0;            // slots returned (excludes fallback)
   std::uint64_t remote_frees = 0;     // frees routed via a remote-free stack
+  std::uint64_t harvests = 0;         // owner sweeps that drained a remote stack
   std::uint64_t fallback_allocs = 0;  // operator-new fallback allocations
   std::uint64_t fallback_frees = 0;
   std::uint64_t caches_created = 0;   // fresh per-thread caches
@@ -60,6 +61,7 @@ struct PoolStats {
   LOT_POOL_COUNTER(allocs)
   LOT_POOL_COUNTER(frees)
   LOT_POOL_COUNTER(remote_frees)
+  LOT_POOL_COUNTER(harvests)
   LOT_POOL_COUNTER(fallback_allocs)
   LOT_POOL_COUNTER(fallback_frees)
   LOT_POOL_COUNTER(caches_created)
@@ -72,6 +74,7 @@ struct PoolStats {
     s.allocs = allocs().load(std::memory_order_relaxed);
     s.frees = frees().load(std::memory_order_relaxed);
     s.remote_frees = remote_frees().load(std::memory_order_relaxed);
+    s.harvests = harvests().load(std::memory_order_relaxed);
     s.fallback_allocs = fallback_allocs().load(std::memory_order_relaxed);
     s.fallback_frees = fallback_frees().load(std::memory_order_relaxed);
     s.caches_created = caches_created().load(std::memory_order_relaxed);

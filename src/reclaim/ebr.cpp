@@ -202,7 +202,16 @@ void EbrDomain::retire_raw(void* p, void (*deleter)(void*)) {
   if (!pushed) {
     return;  // emergency leak, counted; nothing more we can safely do
   }
-  if (rec->retired_count.load(std::memory_order_relaxed) >=
+  const std::size_t backlog =
+      rec->retired_count.load(std::memory_order_relaxed);
+  // Retire-backlog high-water gauge (stats().backlog_peak). The peak only
+  // rarely moves, so the common case is one relaxed load and no RMW.
+  std::size_t peak = backlog_peak_.load(std::memory_order_relaxed);
+  while (backlog > peak &&
+         !backlog_peak_.compare_exchange_weak(peak, backlog,
+                                              std::memory_order_relaxed)) {
+  }
+  if (backlog >=
       backlog_high_water_.load(std::memory_order_relaxed)) {
     // Backpressure: past the high-water mark every retire pays for a full
     // reclamation attempt. Two advances move this record's whole backlog
@@ -409,11 +418,21 @@ EbrDomain::Stats EbrDomain::stats() const {
     ++s.record_capacity;
     s.pending_retired += rec.retired_count.load(std::memory_order_relaxed);
     if (rec.in_use.load(std::memory_order_relaxed)) ++s.records_in_use;
+    const std::uint64_t pinned =
+        rec.pinned_epoch.load(std::memory_order_acquire);
+    if (pinned != 0 &&
+        (s.min_pinned_epoch == 0 || pinned < s.min_pinned_epoch)) {
+      s.min_pinned_epoch = pinned;
+    }
     if (rec.stall_reported.load(std::memory_order_relaxed) &&
         rec.pinned_epoch.load(std::memory_order_relaxed) != 0) {
       s.stalled_now = true;
     }
   });
+  if (s.min_pinned_epoch != 0 && s.epoch > s.min_pinned_epoch) {
+    s.epoch_lag = s.epoch - s.min_pinned_epoch;
+  }
+  s.backlog_peak = backlog_peak_.load(std::memory_order_relaxed);
   s.pool_growths = pool_growths_.load(std::memory_order_relaxed);
   s.backpressure_hits = backpressure_hits_.load(std::memory_order_relaxed);
   s.backlog_steals = backlog_steals_.load(std::memory_order_relaxed);

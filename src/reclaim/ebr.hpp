@@ -141,7 +141,16 @@ class EbrDomain {
   /// watchdog episode (stalled_now says whether it is still in progress).
   struct Stats {
     std::uint64_t epoch = 0;
+    /// Oldest epoch any guard currently pins (0 when nothing is pinned)
+    /// and its distance from the global epoch. A lag that keeps growing
+    /// is the signature of a stalled reader holding reclamation back —
+    /// the leading indicator the stall watchdog later confirms.
+    std::uint64_t min_pinned_epoch = 0;
+    std::uint64_t epoch_lag = 0;
     std::size_t pending_retired = 0;
+    /// High-water mark of any single record's retired-list length (the
+    /// quantity backlog_high_water throttles); monotonic.
+    std::size_t backlog_peak = 0;
     std::size_t records_in_use = 0;
     std::size_t record_capacity = 0;
     std::uint64_t pool_growths = 0;       // extra chunks allocated
@@ -253,6 +262,7 @@ class EbrDomain {
 
   // Health counters (stats()).
   std::atomic<std::uint64_t> pool_growths_{0};
+  std::atomic<std::size_t> backlog_peak_{0};
   std::atomic<std::uint64_t> backpressure_hits_{0};
   std::atomic<std::uint64_t> backlog_steals_{0};
   std::atomic<std::uint64_t> emergency_leaks_{0};

@@ -298,6 +298,9 @@ bool SizePool::harvest_remote(Cache& c) {
     *static_cast<void**>(tail) = c.free_head;
     c.free_head = chain;
   }
+  if (got_any) {
+    PoolStats::harvests().fetch_add(1, std::memory_order_relaxed);
+  }
   return got_any;
 }
 

@@ -25,10 +25,19 @@ Summary summarize(const std::vector<double>& samples) {
   return s;
 }
 
+double percentile_rank(double p, std::size_t n) {
+  if (n == 0) return 0;
+  const double max_rank = static_cast<double>(n - 1);
+  const double rank = p / 100.0 * max_rank;
+  if (rank < 0) return 0;
+  if (rank > max_rank) return max_rank;
+  return rank;
+}
+
 double percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0;
   std::sort(samples.begin(), samples.end());
-  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const double rank = percentile_rank(p, samples.size());
   const auto lo = static_cast<std::size_t>(rank);
   const auto hi = std::min(lo + 1, samples.size() - 1);
   const double frac = rank - static_cast<double>(lo);

@@ -17,7 +17,18 @@ struct Summary {
 /// Arithmetic mean / sample stddev / extrema of a set of trial results.
 Summary summarize(const std::vector<double>& samples);
 
-/// p in [0,100]; linear interpolation between order statistics.
+/// The one definition of the percentile→rank mapping, shared by
+/// percentile() below and the obs latency histogram's quantile walk
+/// (obs/histogram.hpp), so "p50" means the same thing in a benchmark
+/// summary and a telemetry report. Maps p in [0,100] over n sorted
+/// samples to the fractional 0-based order-statistic rank
+/// p/100 * (n-1), clamped to [0, n-1]; the fractional part is the
+/// linear-interpolation weight between the two adjacent order
+/// statistics (the "linear" / R-7 convention).
+double percentile_rank(double p, std::size_t n);
+
+/// p in [0,100]; linear interpolation between order statistics at the
+/// percentile_rank() position.
 double percentile(std::vector<double> samples, double p);
 
 }  // namespace lot::util

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "check/history.hpp"
+#include "obs/histogram.hpp"
 #include "sync/barrier.hpp"
 #include "util/random.hpp"
 #include "util/stopwatch.hpp"
@@ -47,17 +48,29 @@ TrialResult run_trial(MapT& map, const Spec& spec, unsigned threads,
       util::Xoshiro256 rng(seed * 1315423911ULL + t);
       std::uint64_t local = 0;
       std::uint64_t sink = 0;
+      // Hoisted out of the loop: the map calls below are opaque to the
+      // optimizer, so reading the knob through `spec` per op would reload
+      // it every iteration.
+      const unsigned sample_every =
+          obs::kEnabled ? spec.latency_sample_every : 0;
       barrier.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
         const auto key = static_cast<std::int64_t>(
             rng.next_below(static_cast<std::uint64_t>(spec.key_range)));
         const auto dice = rng.next_below(100);
+        // Timing every op would put two clock reads on the hot path and
+        // drown the structure's own cost; sample 1-in-N per worker instead.
+        // Driver-level timing covers the baselines too, not just lot maps.
+        const bool sampled = sample_every != 0 && local % sample_every == 0;
         if (dice < spec.contains_pct) {
+          obs::ScopedLatency lat(obs::OpKind::kContains, sampled);
           map.contains(key);
         } else if (dice < spec.contains_pct + spec.insert_pct) {
+          obs::ScopedLatency lat(obs::OpKind::kInsert, sampled);
           map.insert(key, key);
         } else if (dice < spec.contains_pct + spec.insert_pct +
                               spec.remove_pct) {
+          obs::ScopedLatency lat(obs::OpKind::kErase, sampled);
           map.erase(key);
         } else {
           // Range scan over [key, key + scan_len). Implementations without
@@ -66,11 +79,13 @@ TrialResult run_trial(MapT& map, const Spec& spec, unsigned threads,
           if constexpr (requires {
                           map.range(key, key, [](const K&, const V&) {});
                         }) {
+            obs::ScopedLatency lat(obs::OpKind::kScan, sampled);
             map.range(key, key + spec.scan_len,
                       [&sink](const K& k, const V&) {
                         sink += static_cast<std::uint64_t>(k);
                       });
           } else {
+            obs::ScopedLatency lat(obs::OpKind::kContains, sampled);
             map.contains(key);
           }
         }

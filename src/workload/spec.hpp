@@ -24,6 +24,11 @@ struct Spec {
   unsigned scan_pct = 0;       // percentage of range-scan ops
   std::int64_t scan_len = 64;  // keys spanned per scan: [k, k+scan_len)
 
+  // Latency sampling (obs/ layer): when nonzero, every Nth operation per
+  // worker is timed into the per-op-kind histograms. 0 disables sampling
+  // entirely (no clock reads on the hot path).
+  unsigned latency_sample_every = 0;
+
   /// Steady-state size the structure is prefilled to before the timed
   /// trial. The paper fills to 1/2 of the range for symmetric mixes and to
   /// 2/3 for the 2:1 insert:remove mix (the expected steady-state size).

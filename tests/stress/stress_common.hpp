@@ -35,6 +35,7 @@
 #include "check/linearize.hpp"
 #include "check/perturb.hpp"
 #include "lo/validate.hpp"
+#include "obs/obs.hpp"
 #include "sync/barrier.hpp"
 #include "util/random.hpp"
 
@@ -74,6 +75,10 @@ struct StressOutcome {
   std::vector<check::Event<KeyT>> history;
   std::uint64_t total_ops = 0;
   double check_ms = 0.0;  // offline checker wall time
+  // Observability snapshots bracketing the run (before prefill / after the
+  // workers joined, both quiescent) for expect_obs_reconciles() below.
+  obs::Snapshot obs_before{};
+  obs::Snapshot obs_after{};
 };
 
 /// Runs the checker over a merged history, timing it and filling the
@@ -123,6 +128,7 @@ StressOutcome<typename MapT::key_type> run_perturbed_stress(
       p.ops_per_phase * static_cast<std::size_t>(p.phases) * events_per_op +
       static_cast<std::size_t>(p.key_range) + 8;
   check::HistoryRecorder<K> rec(p.threads, capacity);
+  const obs::Snapshot obs_before = obs::Registry::instance().snapshot();
 
   if (p.prefill) {
     // Recorded single-threaded prefill: every other key present, so erase
@@ -198,6 +204,9 @@ StressOutcome<typename MapT::key_type> run_perturbed_stress(
   }
   for (auto& w : workers) w.join();
   check::enable_perturbation(false);
+  // Quiescent: every worker joined, and validate() below reads the tree
+  // without going through the counted op surface.
+  const obs::Snapshot obs_after = obs::Registry::instance().snapshot();
 
   EXPECT_FALSE(rec.overflowed()) << "history log overflow: grow capacity";
   {
@@ -206,7 +215,70 @@ StressOutcome<typename MapT::key_type> run_perturbed_stress(
                         << rep.to_string();
   }
 
-  return check_history(rec.merged());
+  auto out = check_history(rec.merged());
+  out.obs_before = obs_before;
+  out.obs_after = obs_after;
+  return out;
+}
+
+/// Reconciles the obs counter deltas across a stress run against the
+/// recorded history, with zero tolerance: every operation the checker saw
+/// must have been counted exactly once by the tree's own telemetry, and —
+/// the paper's §4 claim, audited under schedule perturbation — contains
+/// must never have restarted a descent. No-op in LOT_OBS=OFF builds.
+///
+/// `scan_len` must match the StressParams the run used: the recorder
+/// decomposes each range scan into exactly scan_len per-key contains
+/// observations, while the tree counts the scan as one kRangeOps plus one
+/// kRangeKeysReported per key handed to the sink.
+template <typename KeyT>
+void expect_obs_reconciles(const StressOutcome<KeyT>& out,
+                           std::int64_t scan_len) {
+  if (!obs::kEnabled) return;
+  std::uint64_t ins = 0, ins_ok = 0, rem = 0, rem_ok = 0;
+  std::uint64_t con = 0, con_ok = 0;
+  for (const auto& e : out.history) {
+    switch (e.op) {
+      case check::Op::kInsert:
+        ++ins;
+        ins_ok += e.result ? 1 : 0;
+        break;
+      case check::Op::kRemove:
+        ++rem;
+        rem_ok += e.result ? 1 : 0;
+        break;
+      case check::Op::kContains:
+        ++con;
+        con_ok += e.result ? 1 : 0;
+        break;
+    }
+  }
+  using obs::Counter;
+  const auto d = [&](Counter c) {
+    return out.obs_after.counter(c) - out.obs_before.counter(c);
+  };
+  EXPECT_EQ(d(Counter::kInsertOps), ins) << "insert ops vs history";
+  EXPECT_EQ(d(Counter::kInsertSuccess), ins_ok) << "insert successes";
+  EXPECT_EQ(d(Counter::kEraseOps), rem) << "erase ops vs history";
+  EXPECT_EQ(d(Counter::kEraseSuccess), rem_ok) << "erase successes";
+  // Point lookups plus the per-key observations of every recorded scan.
+  const std::uint64_t scans = d(Counter::kRangeOps);
+  EXPECT_EQ(d(Counter::kContainsOps) +
+                scans * static_cast<std::uint64_t>(scan_len),
+            con)
+      << "contains observations (point + " << scans << " scans x "
+      << scan_len << ") vs history";
+  EXPECT_EQ(d(Counter::kContainsHits) + d(Counter::kRangeKeysReported),
+            con_ok)
+      << "contains hits + scan keys reported vs history true-reads";
+  // The derived audit over this window: every tree descent accounted for
+  // by exactly one op or one counted write restart → contains (and every
+  // other read) never restarted, even with perturbation widening every
+  // race window.
+  EXPECT_EQ(obs::Snapshot::contains_restarts_between(out.obs_before,
+                                                     out.obs_after),
+            0)
+      << "a read path re-descended the tree";
 }
 
 /// Writes the full history and (if any) violation witness where

@@ -47,6 +47,10 @@ TYPED_TEST(LoLinearizabilityStress, PerturbedMixedChurnIsLinearizable) {
   lot::stress::print_check_stats(
       p.check_heights ? "avl mixed churn" : "bst mixed churn", out);
   lot::stress::expect_linearizable(out);
+  // The tree's own telemetry must agree with the recorded history exactly
+  // (and prove no read path ever re-descended) — the ISSUE's reconciliation
+  // acceptance criterion.
+  lot::stress::expect_obs_reconciles(out, p.scan_len);
   EXPECT_GE(out.total_ops,
             p.threads * static_cast<std::uint64_t>(p.phases) * p.ops_per_phase);
 
@@ -85,6 +89,7 @@ TYPED_TEST(LoLinearizabilityStress, SingleKeyContentionExercisesSearch) {
   const auto out = run_perturbed_stress(map, p);
   lot::stress::print_check_stats("single-key contention", out);
   lot::stress::expect_linearizable(out);
+  lot::stress::expect_obs_reconciles(out, p.scan_len);
   EXPECT_GT(out.result.stats.overlap_blocks, 0u)
       << "contention run produced no overlapping operations — the WGL "
          "search was never exercised";
@@ -120,6 +125,10 @@ TYPED_TEST(LoScanStress, PerturbedScanChurnIsLinearizable) {
   const auto out = run_perturbed_stress(map, p);
   lot::stress::print_check_stats(TypeParam::name().data(), out);
   lot::stress::expect_linearizable(out);
+  // Reconciliation across all four variants, scans included: point
+  // contains plus scans x scan_len must equal the history's contains
+  // observations, hits must match keys reported, and no read restarts.
+  lot::stress::expect_obs_reconciles(out, p.scan_len);
 
   // The scans must actually have been perturbed mid-walk; with ~5760
   // kRangeStep probes per run even the scaled-down tsan twin hits this
@@ -161,15 +170,20 @@ TEST(DriverCapture, RecordedTrialHistoryIsLinearizable) {
   lot::check::reset_perturb_hits();
   lot::check::set_perturbation(40, 50);
   lot::check::enable_perturbation(true);
+  const auto obs_before = lot::obs::Registry::instance().snapshot();
   const auto trial =
       lot::workload::run_recorded_trial(map, spec, threads, ops, 7, rec);
   lot::check::enable_perturbation(false);
+  const auto obs_after = lot::obs::Registry::instance().snapshot();
 
   EXPECT_EQ(trial.total_ops, threads * ops);
   ASSERT_FALSE(rec.overflowed());
-  const auto out = lot::stress::check_history(rec.merged());
+  auto out = lot::stress::check_history(rec.merged());
+  out.obs_before = obs_before;
+  out.obs_after = obs_after;
   lot::stress::print_check_stats("driver capture", out);
   lot::stress::expect_linearizable(out);
+  lot::stress::expect_obs_reconciles(out, spec.scan_len);
 
   const auto rep = lot::lo::validate(map, /*check_heights=*/false);
   EXPECT_TRUE(rep.ok) << rep.to_string();
@@ -196,15 +210,20 @@ TEST(DriverCapture, RecordedScanTrialHistoryIsLinearizable) {
   lot::check::reset_perturb_hits();
   lot::check::set_perturbation(40, 50);
   lot::check::enable_perturbation(true);
+  const auto obs_before = lot::obs::Registry::instance().snapshot();
   const auto trial =
       lot::workload::run_recorded_trial(map, spec, threads, ops, 11, rec);
   lot::check::enable_perturbation(false);
+  const auto obs_after = lot::obs::Registry::instance().snapshot();
 
   EXPECT_EQ(trial.total_ops, threads * ops);
   ASSERT_FALSE(rec.overflowed());
-  const auto out = lot::stress::check_history(rec.merged());
+  auto out = lot::stress::check_history(rec.merged());
+  out.obs_before = obs_before;
+  out.obs_after = obs_after;
   lot::stress::print_check_stats("driver scan capture", out);
   lot::stress::expect_linearizable(out);
+  lot::stress::expect_obs_reconciles(out, spec.scan_len);
   EXPECT_GT(lot::check::perturb_hits(lot::check::PerturbPoint::kRangeStep),
             0u);
 

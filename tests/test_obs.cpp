@@ -1,0 +1,341 @@
+// Tests for the observability layer (src/obs/): the campaign that proves
+// the numbers are right. Bucket boundaries and quantiles are pinned
+// against a sorted reference through util::percentile (the shared rank
+// convention); counters are proven exact under concurrency; snapshots are
+// proven safe (and monotone) while writers run; a released shard is
+// proven adoptable with its values intact; and the compile-time gate is
+// proven zero-cost (empty handle types, dead hooks) in OFF builds — this
+// same file runs in check.sh's -DLOT_OBS=OFF stage and asserts the other
+// side of every gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "lo/avl.hpp"
+#include "lo/partial.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/obs.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using lot::obs::Counter;
+using lot::obs::HistogramStats;
+using lot::obs::OpKind;
+using lot::obs::Registry;
+using lot::obs::Snapshot;
+
+// ---------------------------------------------------------------------------
+// The zero-cost-when-off contract, checked at compile time from both sides.
+// OFF: the handles are empty types — a ScopedLatency in the driver loop or
+// a Tls in an op prologue occupies no state and every call on them is an
+// empty inline. ON: Tls is exactly one shard pointer.
+#if defined(LOT_DISABLE_OBS)
+static_assert(!lot::obs::kEnabled);
+static_assert(std::is_empty_v<lot::obs::Tls>);
+static_assert(std::is_empty_v<lot::obs::ScopedLatency>);
+#else
+static_assert(lot::obs::kEnabled);
+static_assert(sizeof(lot::obs::Tls) == sizeof(void*));
+#endif
+
+TEST(ObsGate, OffBuildCountsNothing) {
+  if (lot::obs::kEnabled) GTEST_SKIP() << "ON build";
+  lot::obs::count(Counter::kContainsOps, 1000);
+  lot::obs::tls().add(Counter::kInsertOps, 1000);
+  EXPECT_EQ(lot::obs::counter_total(Counter::kContainsOps), 0u);
+  EXPECT_EQ(lot::obs::counter_total(Counter::kInsertOps), 0u);
+  EXPECT_EQ(lot::obs::counter_shards(), 0u);
+  lot::obs::record_latency(OpKind::kContains, 123);
+  const Snapshot s = Registry::instance().snapshot();
+  EXPECT_EQ(s.counter(Counter::kContainsOps), 0u);
+  EXPECT_EQ(s.latency[0].count, 0u);
+  // The report surface still works (reporting code carries no #ifdefs).
+  EXPECT_NE(s.to_json().find("\"enabled\": false"), std::string::npos);
+}
+
+#if !defined(LOT_DISABLE_OBS)
+
+using lot::obs::LatencyHistogram;
+
+// ---------------------------------------------------------------------------
+// Bucketing math.
+
+TEST(ObsHistogram, BucketIndexPinnedValues) {
+  // Unit buckets up to 2*kSub == 64.
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(63), 63u);
+  // First log-linear octave: width 2, 32 buckets covering [64, 128).
+  EXPECT_EQ(LatencyHistogram::bucket_index(64), 64u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(65), 64u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(66), 65u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(127), 95u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(128), 96u);
+  // The largest representable value still fits the table.
+  EXPECT_LT(LatencyHistogram::bucket_index(~0ull),
+            LatencyHistogram::kBucketCount);
+}
+
+TEST(ObsHistogram, BucketEdgesRoundTrip) {
+  // Every bucket's lower edge maps back to it, its last value stays in it,
+  // and one past the last value lands in the next bucket: the buckets tile
+  // the uint64 axis with no gaps or overlaps.
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+    const std::uint64_t lo = LatencyHistogram::bucket_lower(i);
+    const std::uint64_t w = LatencyHistogram::bucket_width(i);
+    ASSERT_EQ(LatencyHistogram::bucket_index(lo), i) << "lower edge, i=" << i;
+    ASSERT_EQ(LatencyHistogram::bucket_index(lo + w - 1), i)
+        << "last value, i=" << i;
+    if (lo + w > lo) {  // not the final bucket wrapping uint64
+      ASSERT_EQ(LatencyHistogram::bucket_index(lo + w), i + 1)
+          << "first value past, i=" << i;
+    }
+  }
+}
+
+TEST(ObsHistogram, RelativeErrorBounded) {
+  // Log-linear promise: bucket width / lower edge <= 2^-kSubBits == 3.125%
+  // everywhere above the unit range.
+  for (std::uint64_t v : {64ull, 100ull, 1000ull, 123456ull, 987654321ull,
+                          1ull << 40, (1ull << 50) + 12345}) {
+    const std::size_t i = LatencyHistogram::bucket_index(v);
+    const double rel =
+        static_cast<double>(LatencyHistogram::bucket_width(i)) /
+        static_cast<double>(LatencyHistogram::bucket_lower(i));
+    EXPECT_LE(rel, 1.0 / LatencyHistogram::kSub) << "v=" << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles vs a sorted reference (the shared util::percentile convention).
+
+TEST(ObsHistogram, QuantilesMatchSortedReferenceExactRange) {
+  // All values < 64 sit in exact unit buckets, so the histogram quantile
+  // must agree with util::percentile to within the 1-unit bucket width.
+  LatencyHistogram h;
+  std::vector<double> ref;
+  lot::util::Xoshiro256 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next_below(60);
+    h.record(v);
+    ref.push_back(static_cast<double>(v));
+  }
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    const double exact = lot::util::percentile(ref, p);
+    EXPECT_NEAR(h.quantile(p), exact, 1.0) << "p=" << p;
+  }
+}
+
+TEST(ObsHistogram, QuantilesMatchSortedReferenceLogRange) {
+  // Wide-range values: agreement within one bucket's relative width
+  // (3.125%) plus the reference's own interpolation inside that bucket.
+  LatencyHistogram h;
+  std::vector<double> ref;
+  lot::util::Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform-ish spread over [1, 2^30).
+    const unsigned bits = 1 + static_cast<unsigned>(rng.next_below(30));
+    const std::uint64_t v = 1 + rng.next_below(1ull << bits);
+    h.record(v);
+    ref.push_back(static_cast<double>(v));
+  }
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double exact = lot::util::percentile(ref, p);
+    const double got = h.quantile(p);
+    EXPECT_NEAR(got, exact, exact * 0.04 + 1.0) << "p=" << p;
+  }
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 20000u);
+  EXPECT_EQ(static_cast<double>(s.max_ns),
+            *std::max_element(ref.begin(), ref.end()));
+}
+
+TEST(ObsHistogram, SingleValueAndReset) {
+  LatencyHistogram h;
+  h.record(1000);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.max_ns, 1000u);
+  // One sample: every quantile is that sample's bucket (width 32 at 1000).
+  EXPECT_GE(s.p50_ns, 992.0);
+  EXPECT_LT(s.p50_ns, 1024.0);
+  EXPECT_EQ(s.p50_ns, s.p99_ns);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(50.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counters.
+
+TEST(ObsCounters, ConcurrentIncrementsSumExactly) {
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200000 / LOT_STRESS_DIVISOR + 1;
+  const std::uint64_t before = lot::obs::counter_total(Counter::kRotations);
+  const std::uint64_t before_w =
+      lot::obs::counter_total(Counter::kHeightPasses);
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([] {
+      const auto tls = lot::obs::tls();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tls.add(Counter::kRotations);
+        if ((i & 3) == 0) tls.add(Counter::kHeightPasses, 5);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Exact, not approximate: each shard is single-writer, so no increment
+  // can be lost to a racing read-modify-write.
+  EXPECT_EQ(lot::obs::counter_total(Counter::kRotations) - before,
+            kThreads * kPerThread);
+  EXPECT_EQ(lot::obs::counter_total(Counter::kHeightPasses) - before_w,
+            kThreads * ((kPerThread + 3) / 4) * 5);
+}
+
+TEST(ObsCounters, SnapshotWhileWritingIsMonotoneLowerBound) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 400000 / LOT_STRESS_DIVISOR + 1;
+  const std::uint64_t before = lot::obs::counter_total(Counter::kPurgeAttempts);
+  std::atomic<unsigned> done{0};
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      const auto tls = lot::obs::tls();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tls.add(Counter::kPurgeAttempts);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  // Read concurrently with the writers: every observation must be a value
+  // the true total passed through (monotone, never above the final sum).
+  std::uint64_t prev = 0;
+  while (done.load(std::memory_order_acquire) < kThreads) {
+    const std::uint64_t now =
+        lot::obs::counter_total(Counter::kPurgeAttempts) - before;
+    ASSERT_GE(now, prev);
+    ASSERT_LE(now, kThreads * kPerThread);
+    prev = now;
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(lot::obs::counter_total(Counter::kPurgeAttempts) - before,
+            kThreads * kPerThread);
+}
+
+TEST(ObsCounters, ThreadExitShardAdoption) {
+  const std::uint64_t before = lot::obs::counter_total(Counter::kGetOps);
+  std::thread a([] { lot::obs::count(Counter::kGetOps, 100); });
+  a.join();
+  // a's shard was released at exit with its values intact: nothing lost.
+  EXPECT_EQ(lot::obs::counter_total(Counter::kGetOps) - before, 100u);
+  const std::size_t shards_after_a = lot::obs::counter_shards();
+  std::thread b([] { lot::obs::count(Counter::kGetOps, 23); });
+  b.join();
+  // b adopted a released shard (a's, or an earlier test thread's) instead
+  // of growing the list, and both threads' counts survived.
+  EXPECT_EQ(lot::obs::counter_shards(), shards_after_a);
+  EXPECT_EQ(lot::obs::counter_total(Counter::kGetOps) - before, 123u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + the derived audit on real trees.
+
+// contains_restarts() over a window rather than process lifetime: earlier
+// tests in this binary bump counters synthetically (no descents behind
+// them), so the global balance is meaningless here — the windowed one
+// must still come out exactly zero.
+std::int64_t contains_restarts_delta(const Snapshot& s0, const Snapshot& s1) {
+  const auto d = [&](Counter c) {
+    return static_cast<std::int64_t>(s1.counter(c) - s0.counter(c));
+  };
+  return d(Counter::kTreeDescents) -
+         (d(Counter::kContainsOps) + d(Counter::kGetOps) +
+          d(Counter::kRangeOps) + d(Counter::kOrderedLocates) +
+          d(Counter::kInsertOps) + d(Counter::kInsertRestarts) +
+          d(Counter::kEraseOps) + d(Counter::kEraseRestarts));
+}
+
+TEST(ObsRegistry, SequentialAvlOpsReconcileExactly) {
+  const Snapshot s0 = Registry::instance().snapshot();
+  lot::lo::AvlMap<std::int64_t, std::int64_t> avl;
+  for (std::int64_t k = 0; k < 200; ++k) ASSERT_TRUE(avl.insert(k, k));
+  ASSERT_FALSE(avl.insert(7, 7));  // duplicate
+  for (std::int64_t k = 0; k < 200; k += 2) ASSERT_TRUE(avl.erase(k));
+  ASSERT_FALSE(avl.erase(1000));  // absent
+  int hits = 0;
+  for (std::int64_t k = 0; k < 200; ++k) hits += avl.contains(k) ? 1 : 0;
+  const Snapshot s1 = Registry::instance().snapshot();
+
+  const auto delta = [&](Counter c) { return s1.counter(c) - s0.counter(c); };
+  EXPECT_EQ(delta(Counter::kInsertOps), 201u);
+  EXPECT_EQ(delta(Counter::kInsertSuccess), 200u);
+  EXPECT_EQ(delta(Counter::kEraseOps), 101u);
+  EXPECT_EQ(delta(Counter::kEraseSuccess), 100u);
+  EXPECT_EQ(delta(Counter::kContainsOps), 200u);
+  EXPECT_EQ(delta(Counter::kContainsHits), static_cast<std::uint64_t>(hits));
+  EXPECT_EQ(hits, 100);
+  EXPECT_GE(delta(Counter::kRotations), 1u);  // AVL had to rotate
+  EXPECT_EQ(delta(Counter::kEraseLogical), 0u);  // on-time removal: never
+  // Single-threaded OnTimeRemoval: the node is allocated before the
+  // validation loop, so no restart of any kind can occur — and the central
+  // audit: every descent accounted for, contains never restarted.
+  EXPECT_EQ(delta(Counter::kInsertRestarts), 0u);
+  EXPECT_EQ(delta(Counter::kEraseRestarts), 0u);
+  EXPECT_EQ(contains_restarts_delta(s0, s1), 0);
+}
+
+TEST(ObsRegistry, ZombieLifecycleCountersReconcile) {
+  const Snapshot s0 = Registry::instance().snapshot();
+  lot::lo::PartialAvlMap<std::int64_t, std::int64_t> m;
+  // 1,2,3 force a rotation that roots 2 with two children — so erase(2) is
+  // the two-children case LogicalRemoving downgrades to a zombie.
+  ASSERT_TRUE(m.insert(1, 1));
+  ASSERT_TRUE(m.insert(2, 2));
+  ASSERT_TRUE(m.insert(3, 3));
+  ASSERT_TRUE(m.erase(2));
+  EXPECT_FALSE(m.contains(2));
+  ASSERT_TRUE(m.insert(2, 42));  // revive the zombie in place
+  EXPECT_TRUE(m.contains(2));
+  const Snapshot s1 = Registry::instance().snapshot();
+
+  const auto delta = [&](Counter c) { return s1.counter(c) - s0.counter(c); };
+  EXPECT_EQ(delta(Counter::kInsertOps), 4u);
+  EXPECT_EQ(delta(Counter::kInsertSuccess), 4u);
+  EXPECT_EQ(delta(Counter::kEraseOps), 1u);
+  EXPECT_EQ(delta(Counter::kEraseSuccess), 1u);
+  EXPECT_EQ(delta(Counter::kEraseLogical), 1u);
+  EXPECT_EQ(delta(Counter::kInsertRevives), 1u);
+  EXPECT_EQ(delta(Counter::kEraseRelocations), 0u);  // LR never relocates
+  // Each *fresh* LogicalRemoving insert re-descends once through the
+  // allocate-outside-the-lock path and is counted as a restart (the revive
+  // needed no allocation, hence no restart).
+  EXPECT_EQ(delta(Counter::kInsertRestarts), 3u);
+  EXPECT_EQ(contains_restarts_delta(s0, s1), 0);
+}
+
+TEST(ObsRegistry, SerializersCarryTheSchema) {
+  lot::obs::record_latency(OpKind::kScan, 500);
+  const Snapshot s = Registry::instance().snapshot();
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"schema\": \"lot-obs-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"contains_restarts\""), std::string::npos);
+  EXPECT_NE(json.find("\"tree_descents\""), std::string::npos);
+  EXPECT_NE(json.find("\"scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch_lag\""), std::string::npos);
+  const std::string text = s.to_text();
+  EXPECT_NE(text.find("contains_restarts"), std::string::npos);
+  EXPECT_NE(text.find("tree_descents"), std::string::npos);
+}
+
+#endif  // !LOT_DISABLE_OBS
+
+}  // namespace

@@ -108,6 +108,36 @@ TEST(Stats, SummaryAndPercentile) {
   EXPECT_DOUBLE_EQ(lot::util::percentile(xs, 0), 1.0);
 }
 
+// Pins the percentile→rank convention (R-7 / "linear"): rank = p/100*(n-1),
+// fractional part interpolates between adjacent order statistics. The obs
+// latency histogram's quantile walk shares percentile_rank(), so these
+// values are load-bearing for telemetry too (obs/histogram.hpp).
+TEST(Stats, PercentileRankConvention) {
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(50, 5), 2.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(100, 5), 4.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(25, 5), 1.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(90, 11), 9.0);
+  // Fractional ranks interpolate; out-of-range p clamps, n==0 is safe.
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(50, 4), 1.5);
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(-10, 5), 0.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(110, 5), 4.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(50, 0), 0.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile_rank(50, 1), 0.0);
+}
+
+TEST(Stats, PercentileInterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  // rank(50, 4) == 1.5 → halfway between the 2nd and 3rd order statistics.
+  EXPECT_DOUBLE_EQ(lot::util::percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile(xs, 75), 32.5);
+  // Unsorted input is sorted internally; duplicates are fine.
+  EXPECT_DOUBLE_EQ(lot::util::percentile({40, 10, 30, 20}, 50), 25.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile({5, 5, 5}, 90), 5.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(lot::util::percentile({7}, 99), 7.0);
+}
+
 TEST(Workload, PaperSpecs) {
   using namespace lot::workload;
   const auto s1 = make_spec(Mix::k100C, 20'000);
