@@ -39,6 +39,7 @@ struct PackedNode {
   V value;
   std::atomic<bool> mark{false};
   std::atomic<bool> deleted{false};
+  std::atomic<std::uint32_t> succ_version{0};
   std::atomic<Self*> left{nullptr};
   std::atomic<Self*> right{nullptr};
   std::atomic<Self*> parent{nullptr};

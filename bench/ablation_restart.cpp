@@ -1,0 +1,94 @@
+// Restart ablation (DESIGN.md §13, EXPERIMENTS.md A9): what does the
+// versioned write path buy, and what does the rotation throttle add?
+//
+// Three arms, all running the identical lo-avl tree with --obs forced on
+// so every cell carries the restart/resume/rotation counters:
+//   lo-avl-resume+throttle — resume budget 8, throttle on (this PR's
+//                            default configuration)
+//   lo-avl-rootrestart     — resume budget 0, throttle off: every failed
+//                            validation re-descends from the root, the
+//                            pre-PR write path bit-for-bit
+//   lo-avl-resume-only     — resume budget 8, throttle off (isolates the
+//                            resume delta from the throttle delta)
+//
+// Each arm runs the paper's 4-thread contended mix uniform and Zipf(0.99)
+// skewed — the skewed run concentrates writers on adjacent keys, which is
+// where failed interval acquisitions actually cluster. The acceptance
+// numbers are the resume arm's insert+erase restarts (>= 5x below the
+// rootrestart arm's on the 20k 50C-25I-25R cell) with throughput no worse.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench/common.hpp"
+#include "lo/avl.hpp"
+#include "lo/rebalance.hpp"
+#include "obs/obs.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using K = std::int64_t;
+using Avl = lot::lo::AvlMap<K, K>;
+
+struct Arm {
+  const char* name;
+  std::uint32_t resume_limit;
+  bool throttle;
+};
+
+constexpr Arm kArms[] = {
+    {"lo-avl-resume+throttle", 8, true},
+    {"lo-avl-rootrestart", 0, false},
+    {"lo-avl-resume-only", 8, false},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lot::util::Cli cli(argc, argv);
+  auto cfg = lot::bench::TableConfig::from_cli(cli);
+  if (!cli.has("threads") && !cli.has("paper")) cfg.threads = {1, 4, 8};
+  if (!cli.has("ranges") && !cli.has("paper")) cfg.key_ranges = {20'000};
+  // The counters are this experiment's subject, not an optional column.
+  cfg.obs = true;
+  lot::bench::JsonReport report;
+
+  if (!lot::obs::kEnabled) {
+    std::printf("warning: LOT_OBS=OFF build — the restart columns this "
+                "ablation exists for will be empty\n");
+  }
+  if (!lot::lo::detail::kRebalanceThrottleCompiled) {
+    std::printf("warning: LOT_REBALANCE_THROTTLE=OFF build — the throttle "
+                "arm degenerates to resume-only\n");
+  }
+
+  const auto saved_limit = lot::lo::write_resume_limit();
+
+  for (const auto range : cfg.key_ranges) {
+    const auto uniform =
+        lot::workload::make_spec(lot::workload::Mix::k50C25I25R, range);
+    auto zipf = uniform;
+    zipf.zipf_s = 0.99;
+    zipf.name += "-zipf0.99";
+    for (const auto& spec : {uniform, zipf}) {
+      lot::bench::print_cell_header("Restart ablation", spec);
+      std::vector<std::pair<std::string, lot::bench::Series>> series;
+      for (const Arm& arm : kArms) {
+        lot::lo::set_write_resume_limit(arm.resume_limit);
+        lot::lo::detail::set_rebalance_throttle(arm.throttle);
+        series.emplace_back(arm.name,
+                            lot::bench::run_series<Avl>(spec, cfg));
+      }
+      lot::lo::set_write_resume_limit(saved_limit);
+      lot::lo::detail::set_rebalance_throttle(true);
+      lot::bench::print_series_table(cfg.threads, series);
+      for (const auto& [name, cells] : series) {
+        report.add("ablation_restart", spec, cfg, name, cells);
+      }
+    }
+  }
+  lot::bench::maybe_write_json(cli, report);
+  return 0;
+}

@@ -70,7 +70,10 @@ struct ObsCell {
   std::int64_t contains_restarts = 0;  // the derived audit over the cell
   std::uint64_t insert_restarts = 0;
   std::uint64_t erase_restarts = 0;
+  std::uint64_t locate_resumes = 0;        // in-place resumes (no descent)
+  std::uint64_t validation_fallbacks = 0;  // budget exhausted -> re-descent
   std::uint64_t rotations = 0;
+  std::uint64_t rotations_deferred = 0;    // throttle-deferred climbs
   obs::HistogramStats contains_lat{};
   obs::HistogramStats insert_lat{};
 };
@@ -116,7 +119,10 @@ Series run_series(const workload::Spec& spec, const TableConfig& cfg) {
           obs::Snapshot::contains_restarts_between(before, after);
       cell.obs.insert_restarts = d(obs::Counter::kInsertRestarts);
       cell.obs.erase_restarts = d(obs::Counter::kEraseRestarts);
+      cell.obs.locate_resumes = d(obs::Counter::kLocateResumes);
+      cell.obs.validation_fallbacks = d(obs::Counter::kValidationFallbacks);
       cell.obs.rotations = d(obs::Counter::kRotations);
+      cell.obs.rotations_deferred = d(obs::Counter::kRotationsDeferred);
       cell.obs.contains_lat = after.latency[static_cast<std::size_t>(
           obs::OpKind::kContains)];
       cell.obs.insert_lat =
@@ -178,7 +184,8 @@ inline void print_series_table(
   }
   if (!any_obs) return;
   std::printf(
-      "  obs (sampled contains p50/p99 ns | restarts i/e | audit):\n");
+      "  obs (sampled contains p50/p99 ns | restarts i/e | resumes/fallbacks "
+      "| audit):\n");
   for (std::size_t i = 0; i < threads.size(); ++i) {
     std::printf("%8lld", static_cast<long long>(threads[i]));
     for (const auto& [_, cells] : series) {
@@ -187,10 +194,12 @@ inline void print_series_table(
         std::printf("  %28s", "-");
         continue;
       }
-      std::printf("  %7.0f/%-7.0f %6llu/%-6llu cr=%lld",
+      std::printf("  %7.0f/%-7.0f %6llu/%-6llu %6llu/%-6llu cr=%lld",
                   o.contains_lat.p50_ns, o.contains_lat.p99_ns,
                   static_cast<unsigned long long>(o.insert_restarts),
                   static_cast<unsigned long long>(o.erase_restarts),
+                  static_cast<unsigned long long>(o.locate_resumes),
+                  static_cast<unsigned long long>(o.validation_fallbacks),
                   static_cast<long long>(o.contains_restarts));
     }
     std::printf("\n");
@@ -250,13 +259,18 @@ class JsonReport {
             f,
             ", \"obs\": {\"contains_restarts\": %lld, "
             "\"insert_restarts\": %llu, \"erase_restarts\": %llu, "
-            "\"rotations\": %llu, \"contains_p50_ns\": %.1f, "
+            "\"locate_resumes\": %llu, \"validation_fallbacks\": %llu, "
+            "\"rotations\": %llu, \"rotations_deferred\": %llu, "
+            "\"contains_p50_ns\": %.1f, "
             "\"contains_p99_ns\": %.1f, \"insert_p50_ns\": %.1f, "
             "\"insert_p99_ns\": %.1f, \"lat_samples\": %llu}",
             static_cast<long long>(o.contains_restarts),
             static_cast<unsigned long long>(o.insert_restarts),
             static_cast<unsigned long long>(o.erase_restarts),
+            static_cast<unsigned long long>(o.locate_resumes),
+            static_cast<unsigned long long>(o.validation_fallbacks),
             static_cast<unsigned long long>(o.rotations),
+            static_cast<unsigned long long>(o.rotations_deferred),
             o.contains_lat.p50_ns, o.contains_lat.p99_ns,
             o.insert_lat.p50_ns, o.insert_lat.p99_ns,
             static_cast<unsigned long long>(o.contains_lat.count +

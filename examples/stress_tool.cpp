@@ -138,6 +138,10 @@ bool soak_lo(const char* name, const Config& cfg, bool balanced,
   while (watch.elapsed_seconds() < cfg.secs) std::this_thread::yield();
   stop = true;
   for (auto& w : workers) w.join();
+  if constexpr (MapT::kBalanced) {
+    // Converge throttle-deferred rotations before the strict-height check.
+    if (balanced) map.repair_balance();
+  }
   const auto rep = lot::lo::validate(map, balanced, partial);
   std::printf("%-12s structural validation: %s (n=%zu, height=%d)\n", name,
               rep.ok ? "OK" : "VIOLATED", rep.chain_nodes, rep.height);

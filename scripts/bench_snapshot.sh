@@ -13,6 +13,10 @@
 #   BENCH_5.json — observability overhead (ablation_obs), merged rows from
 #                  the default build (LOT_OBS=ON) and build-noobs/
 #                  (LOT_OBS=OFF); impl labels carry the build's obs state
+#   BENCH_6.json — restart ablation (ablation_restart): versioned-resume
+#                  write path vs pre-PR root restart vs resume without the
+#                  rotation throttle, uniform and Zipf(0.99) mixes, restart
+#                  and resume counters in every row
 #
 # Usage: scripts/bench_snapshot.sh [out.json]
 # The target ablation is picked from the output name; default BENCH_4.json.
@@ -29,6 +33,7 @@ THREADS="${LOT_BENCH_THREADS:-1,4,8}"
 case "$OUT" in
   *BENCH_3*) TARGET=ablation_alloc ;;
   *BENCH_5*) TARGET=ablation_obs ;;
+  *BENCH_6*) TARGET=ablation_restart ;;
   *) TARGET=ablation_range ;;
 esac
 
@@ -62,6 +67,10 @@ elif [ "$TARGET" = ablation_obs ]; then
     --secs="$SECS" --repeats="$REPEATS" --json="${OUT}.off.tmp"
   merge_rows "${OUT}.on.tmp" "${OUT}.off.tmp" "$OUT"
   rm -f "${OUT}.on.tmp" "${OUT}.off.tmp"
+elif [ "$TARGET" = ablation_restart ]; then
+  ./build/bench/ablation_restart \
+    --threads="$THREADS" --ranges=20000 \
+    --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
 else
   ./build/bench/ablation_range \
     --threads="$THREADS" --ranges=20000 --scanlens=16,64,256 \

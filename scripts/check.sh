@@ -7,10 +7,13 @@
 #   2. the schedule-perturbed linearizability stress: perturbed histories
 #      from the real trees through the offline checker — including the
 #      scan-enabled campaigns (range scans decomposed into per-key
-#      observations) — plus the LOT_INJECT_BUG negative control that must
-#      be *rejected*, plus the LOT_FAULT_INJECT campaign (seeded
-#      allocation failures and guard stalls with per-phase structural
-#      validation and leak accounting);
+#      observations) and the restart-audit campaign (the versioned write
+#      path's capture→lock window perturbed, resume/fallback counters
+#      reconciled exactly) — plus the LOT_INJECT_BUG negative controls
+#      (tree-only locate AND the skipped version bump) that must be
+#      *rejected*, plus the LOT_FAULT_INJECT campaign (seeded allocation
+#      failures and guard stalls with per-phase structural validation and
+#      leak accounting);
 #   3. the whole-build ThreadSanitizer preset (build-tsan/, iteration
 #      counts scaled down by LOT_STRESS_DIVISOR=20), minus the scan
 #      stress which stage 4 gates explicitly;
@@ -26,7 +29,11 @@
 #   7. the LOT_OBS=OFF build (build-noobs/): the non-stress suite with the
 #      observability layer compiled out — test_obs's static_asserts prove
 #      the hook handles are empty types, and the run proves the trees never
-#      grew a functional dependence on their own telemetry.
+#      grew a functional dependence on their own telemetry;
+#   8. the LOT_REBALANCE_THROTTLE=OFF build (build-nothrottle/): the
+#      non-stress suite with the contention-adaptive rotation throttle
+#      compiled out, proving the pre-throttle rotation discipline stays
+#      recoverable and nothing depends on deferral for correctness.
 #
 # A non-linearizable history makes the stress tests dump the complete
 # trace + violation witness to $LOT_HISTORY_DUMP; this script pins that
@@ -37,7 +44,7 @@ cd "$(dirname "$0")/.."
 export LOT_HISTORY_DUMP="${LOT_HISTORY_DUMP:-$PWD/history.txt}"
 rm -f "$LOT_HISTORY_DUMP"
 
-STRESS_RE='LoLinearizabilityStress|LoScanStress|SeededBug|LoFaultStress|DriverCapture'
+STRESS_RE='LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|LoFaultStress|DriverCapture'
 SCAN_RE='LoScanStress|RecordedScanTrial'
 
 fail() {
@@ -50,44 +57,52 @@ fail() {
   exit 1
 }
 
-echo "== stage 1/7: tier-1 build + test =="
+echo "== stage 1/8: tier-1 build + test =="
 cmake -B build -S . >/dev/null || fail "configure"
 cmake --build build -j "$(nproc)" >/dev/null || fail "build"
 (cd build && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "tier-1 ctest"
 
-echo "== stage 2/7: perturbed linearizability + fault-injection stress =="
+echo "== stage 2/8: perturbed linearizability + fault-injection stress =="
 (cd build && ctest --output-on-failure -R "$STRESS_RE") \
   || fail "stress + checker"
 
-echo "== stage 3/7: ThreadSanitizer preset =="
+echo "== stage 3/8: ThreadSanitizer preset =="
 cmake --preset tsan >/dev/null || fail "tsan configure"
 cmake --build --preset tsan -j "$(nproc)" >/dev/null || fail "tsan build"
 # The explicit -E overrides the preset's own exclude filter, so it must
 # re-state the SeededBug exclusion alongside the scan stress deferral.
 ctest --preset tsan -E "SeededBug|$SCAN_RE" || fail "tsan ctest"
 
-echo "== stage 4/7: scan-enabled linearizability stress under TSan =="
+echo "== stage 4/8: scan-enabled linearizability stress under TSan =="
 ctest --preset tsan -R "$SCAN_RE" || fail "tsan scan stress"
 
-echo "== stage 5/7: AddressSanitizer+LeakSanitizer preset =="
+echo "== stage 5/8: AddressSanitizer+LeakSanitizer preset =="
 cmake --preset asan >/dev/null || fail "asan configure"
 cmake --build --preset asan -j "$(nproc)" >/dev/null || fail "asan build"
 ctest --preset asan || fail "asan ctest"
 
-echo "== stage 6/7: LOT_POOL_ALLOC=OFF build + test =="
+echo "== stage 6/8: LOT_POOL_ALLOC=OFF build + test =="
 cmake -B build-nopool -S . -DLOT_POOL_ALLOC=OFF >/dev/null \
   || fail "nopool configure"
 cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
 (cd build-nopool && ctest --output-on-failure -j "$(nproc)" \
-  -E 'LoLinearizabilityStress|LoScanStress|SeededBug|DriverCapture') \
+  -E 'LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|DriverCapture') \
   || fail "nopool ctest (incl. fault campaign)"
 
-echo "== stage 7/7: LOT_OBS=OFF build + test =="
+echo "== stage 7/8: LOT_OBS=OFF build + test =="
 cmake -B build-noobs -S . -DLOT_OBS=OFF >/dev/null \
   || fail "noobs configure"
 cmake --build build-noobs -j "$(nproc)" >/dev/null || fail "noobs build"
 (cd build-noobs && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "noobs ctest"
+
+echo "== stage 8/8: LOT_REBALANCE_THROTTLE=OFF build + test =="
+cmake -B build-nothrottle -S . -DLOT_REBALANCE_THROTTLE=OFF >/dev/null \
+  || fail "nothrottle configure"
+cmake --build build-nothrottle -j "$(nproc)" >/dev/null \
+  || fail "nothrottle build"
+(cd build-nothrottle && ctest --output-on-failure -j "$(nproc)" \
+  -E "$STRESS_RE") || fail "nothrottle ctest"
 
 echo "check.sh: all stages passed"

@@ -39,6 +39,7 @@ enum class PerturbPoint : std::uint8_t {
   kRelocateDetached,         // two-child removal: successor absent from the tree
   kRotate,                   // a rotation is about to swing child pointers
   kRangeStep,                // a range scan is mid-walk on the ordering chain
+  kWriterCaptured,           // writer captured (pred, succ, version); lock pending
   kCount
 };
 
@@ -56,6 +57,7 @@ inline const char* perturb_point_name(PerturbPoint p) {
     case PerturbPoint::kRelocateDetached: return "relocate-detached";
     case PerturbPoint::kRotate: return "rotate";
     case PerturbPoint::kRangeStep: return "range-step";
+    case PerturbPoint::kWriterCaptured: return "writer-captured";
     default: return "?";
   }
 }
@@ -69,6 +71,11 @@ struct PerturbState {
   std::atomic<std::uint32_t> fire_permille{20};  // P(pause) per point visit
   std::atomic<std::uint32_t> max_sleep_us{50};
   std::atomic<std::uint64_t> hits[kPerturbPointCount] = {};
+  // Mixed into each thread's RNG seed: joined threads' TLS slots are
+  // reused, so address-only seeding makes successive short-lived workers
+  // replay the same pause schedule (the stale-version control spins up a
+  // fresh racing pair per attempt and needs the attempts independent).
+  std::atomic<std::uint64_t> seed_mix{0};
 };
 
 inline PerturbState& perturb_state() {
@@ -102,9 +109,13 @@ inline void reset_perturb_hits() {
 inline void perturb_point(PerturbPoint p) {
   auto& st = perturb_state();
   if (!st.enabled.load(std::memory_order_relaxed)) return;
-  // xorshift64*, seeded per thread from its TLS slot address.
+  // xorshift64*, seeded per thread from its TLS slot address plus a
+  // process-wide counter (see PerturbState::seed_mix).
   thread_local std::uint64_t rng =
-      reinterpret_cast<std::uint64_t>(&rng) | 1;
+      (reinterpret_cast<std::uint64_t>(&rng) ^
+       st.seed_mix.fetch_add(0x9E3779B97F4A7C15ULL,
+                             std::memory_order_relaxed)) |
+      1;
   rng ^= rng << 13;
   rng ^= rng >> 7;
   rng ^= rng << 17;

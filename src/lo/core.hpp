@@ -54,10 +54,13 @@
 // mid-relocation, a scan mid-walk) carry named check::perturb_point()
 // hooks. They compile to nothing unless the translation unit defines
 // LOT_SCHEDULE_PERTURB; the stress harness under tests/stress/ builds with
-// it to widen those windows. LOT_INJECT_BUG (negative control for the
-// linearizability checker) breaks locate() into a tree-only lookup —
-// exactly the naive design the logical ordering exists to fix — so
-// perturbed runs yield non-linearizable histories the checker must reject.
+// it to widen those windows. LOT_INJECT_BUG (negative controls for the
+// linearizability checker) is valued: ==1 breaks locate() into a tree-only
+// lookup — exactly the naive design the logical ordering exists to fix —
+// and ==2 skips the version bump on the insert relink, so a writer trusts
+// a stale versioned capture and splices past a just-linked node (lost
+// update). Either way perturbed runs yield non-linearizable histories the
+// checker must reject.
 // Fault injection (inject/inject.hpp, LOT_FAULT_INJECT) attacks the
 // resource windows instead: seeded bad_alloc at the insert allocation site
 // and seeded guard stalls in readers and writers.
@@ -72,11 +75,15 @@
 // and can only fail inside EbrDomain::retire, which is itself OOM-safe.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "check/perturb.hpp"
 #include "inject/inject.hpp"
@@ -110,6 +117,25 @@ struct LogicalRemoving {
   static constexpr inject::Site kInsertAllocSite =
       inject::Site::kPartialInsertAlloc;
 };
+
+namespace detail {
+inline std::atomic<std::uint32_t>& write_resume_limit_flag() {
+  static std::atomic<std::uint32_t> limit{8};
+  return limit;
+}
+}  // namespace detail
+
+/// Resume budget for the versioned write path (DESIGN.md §13): a failed
+/// interval validation resumes the ordering walk from its captured
+/// predecessor up to this many times per descent before falling back to a
+/// full root re-descent. 0 restores the pre-versioning root-restart
+/// discipline exactly (bench/ablation_restart.cpp A/B arm).
+inline void set_write_resume_limit(std::uint32_t n) {
+  detail::write_resume_limit_flag().store(n, std::memory_order_relaxed);
+}
+inline std::uint32_t write_resume_limit() {
+  return detail::write_resume_limit_flag().load(std::memory_order_relaxed);
+}
 
 template <typename K, typename V, typename Compare, bool Balanced,
           typename Alloc, typename RemovalPolicy,
@@ -436,75 +462,144 @@ class LoCore {
       inject::throw_if_alloc_fault(RemovalPolicy::kInsertAllocSite);
       nn = Alloc::template create<NodeT>(k, v);
     }
+    const std::uint32_t budget = write_resume_limit();
+    std::uint32_t resumes = 0;
+    NodeT* node = search(k, tc);
     for (;;) {
-      NodeT* node = search(k, tc);
-      NodeT* p = cmp(node, k) >= 0
-                     ? node->pred.load(std::memory_order_acquire)
-                     : node;
-      p->succ_lock.lock();
-      NodeT* s = p->succ.load(std::memory_order_relaxed);
-      if (cmp(p, k) < 0 && cmp(s, k) >= 0 &&
-          !p->mark.load(std::memory_order_acquire)) {
-        if (cmp(s, k) == 0) {
-          // Physically present.
-          if constexpr (kLogicalRemoving) {
-            if (s->deleted.load(std::memory_order_acquire)) {
-              // Revive in place: value first, then the presence flip.
-              s->value.store(v, std::memory_order_relaxed);
-              s->deleted.store(false, std::memory_order_release);
-              p->succ_lock.unlock();
-              if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
-              tc.add(obs::Counter::kInsertOps);
-              tc.add(obs::Counter::kInsertSuccess);
-              tc.add(obs::Counter::kInsertRevives);
-              return true;
+      node = ordering_walk(node, k, tc);  // first chain node with key >= k
+      NodeT* p = node->pred.load(std::memory_order_acquire);
+      // Versioned capture of p's interval (DESIGN.md §13): version first,
+      // then succ. A relink stores succ before bumping the version, both
+      // release, so when the version still matches under p's succ_lock the
+      // captured succ is exactly p's current successor; any interleaved
+      // relink is caught as a mismatch and merely costs a resume.
+      const std::uint32_t ver = p->succ_version.load(std::memory_order_acquire);
+      NodeT* s_cap = p->succ.load(std::memory_order_acquire);
+      if (cmp(p, k) < 0) {
+        if constexpr (kLogicalRemoving) {
+          if (nn == nullptr && cmp(s_cap, k) > 0) {
+            // The capture says the key is absent, so a node will be
+            // needed. Allocate now, with no locks held — the revive path
+            // below must stay allocation-free — instead of the pre-PR
+            // lock-unlock-allocate-redescend round trip.
+            try {
+              inject::throw_if_alloc_fault(RemovalPolicy::kInsertAllocSite);
+              nn = Alloc::template create<NodeT>(k, v);
+            } catch (...) {
+              // The throw abandons the descents already counted with no
+              // insert op to pay for the last one; one restart count
+              // keeps the descent audit balanced (DESIGN.md §12).
+              tc.add(obs::Counter::kInsertRestarts);
+              throw;
             }
           }
-          p->succ_lock.unlock();
-          if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
-          tc.add(obs::Counter::kInsertOps);
-          return false;  // unsuccessful insert
         }
-        if constexpr (kLogicalRemoving) {
-          if (nn == nullptr) {
-            // Key absent, so a node is needed — but never allocate while
-            // holding the interval lock (the revive path must stay
-            // allocation-free). Drop it, allocate, revalidate.
+        check::perturb_point(check::PerturbPoint::kWriterCaptured);
+        p->succ_lock.lock();
+        NodeT* s;
+        bool valid;
+        if (p->succ_version.load(std::memory_order_relaxed) == ver &&
+            !p->mark.load(std::memory_order_acquire) &&
+            cmp(s_cap, k) >= 0) {
+          // Fast validation: the version match makes s_cap current, and
+          // keys are immutable, so the captured interval still brackets
+          // k. The mark must be rechecked even on a match — unlinking a
+          // node bumps its *predecessor's* version, never its own.
+          s = s_cap;
+          valid = true;
+        } else {
+          s = p->succ.load(std::memory_order_relaxed);
+          valid = cmp(s, k) >= 0 && !p->mark.load(std::memory_order_acquire);
+        }
+        if (valid) {
+          if (cmp(s, k) == 0) {
+            // Physically present.
+            if constexpr (kLogicalRemoving) {
+              if (s->deleted.load(std::memory_order_acquire)) {
+                // Revive in place: value first, then the presence flip.
+                s->value.store(v, std::memory_order_relaxed);
+                s->deleted.store(false, std::memory_order_release);
+                p->succ_lock.unlock();
+                if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
+                tc.add(obs::Counter::kInsertOps);
+                tc.add(obs::Counter::kInsertSuccess);
+                tc.add(obs::Counter::kInsertRevives);
+                return true;
+              }
+            }
             p->succ_lock.unlock();
-            // Counted before the allocation so a thrown bad_alloc leaves
-            // the descent accounting balanced (DESIGN.md §12).
-            tc.add(obs::Counter::kInsertRestarts);
-            inject::throw_if_alloc_fault(RemovalPolicy::kInsertAllocSite);
-            nn = Alloc::template create<NodeT>(k, v);
-            continue;
+            if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
+            tc.add(obs::Counter::kInsertOps);
+            return false;  // unsuccessful insert
           }
+          if constexpr (kLogicalRemoving) {
+            if (nn == nullptr) {
+              // The capture said present, but the interval moved on and
+              // the key is absent after all. Never allocate while holding
+              // the interval lock (the revive path must stay
+              // allocation-free): drop it and resume from p — the next
+              // capture allocates before relocking.
+              p->succ_lock.unlock();
+              tc.add(obs::Counter::kLocateResumes);
+              node = p;
+              continue;
+            }
+          }
+          NodeT* parent = choose_parent(p, s, node);
+          nn->succ.store(s, std::memory_order_relaxed);
+          nn->pred.store(p, std::memory_order_relaxed);
+          nn->parent.store(parent, std::memory_order_relaxed);
+          // Linearization point of a successful insert (§5.2). The succ
+          // link must be published *first*: succ pointers are the
+          // authoritative chain, and pred pointers are only repair hints
+          // that the ordering walk always re-validates by walking succ
+          // afterwards. Storing s->pred before p->succ lets a pred-walking
+          // reader observe nn before this linearization point while a
+          // succ-walking reader still misses it — a real-time inversion
+          // the perturbed stress harness caught as a non-linearizable
+          // history (contains(k)=true then contains(k)=false with only
+          // this insert in flight). The verified plankton model orders the
+          // stores the same way as below. The version bump rides the same
+          // lock, after the succ store, so capture readers ordered before
+          // it see the mismatch.
+          p->succ.store(nn, std::memory_order_release);
+#if defined(LOT_INJECT_BUG) && LOT_INJECT_BUG == 2
+          // Seeded bug (checker negative control): this relink "forgets"
+          // its version bump, so a concurrent writer holding a capture of
+          // p's old interval validates against the stale succ and splices
+          // right past nn — a lost update / real-time inversion the
+          // linearizability checker must reject
+          // (tests/stress/stress_lo_stale_version.cpp).
+#else
+          bump_succ_version(p);
+#endif
+          check::perturb_point(check::PerturbPoint::kInsertHalfLinked);
+          s->pred.store(nn, std::memory_order_release);
+          p->succ_lock.unlock();
+          check::perturb_point(check::PerturbPoint::kInsertBeforeTreeLink);
+          tc.add(obs::Counter::kInsertOps);
+          tc.add(obs::Counter::kInsertSuccess);
+          insert_to_tree(parent, nn);
+          return true;
         }
-        NodeT* parent = choose_parent(p, s, node);
-        nn->succ.store(s, std::memory_order_relaxed);
-        nn->pred.store(p, std::memory_order_relaxed);
-        nn->parent.store(parent, std::memory_order_relaxed);
-        // Linearization point of a successful insert (§5.2). The succ link
-        // must be published *first*: succ pointers are the authoritative
-        // chain, and pred pointers are only repair hints that the ordering
-        // walk always re-validates by walking succ afterwards. Storing
-        // s->pred before p->succ lets a pred-walking reader observe nn
-        // before this linearization point while a succ-walking reader still
-        // misses it — a real-time inversion the perturbed stress harness
-        // caught as a non-linearizable history (contains(k)=true then
-        // contains(k)=false with only this insert in flight). The verified
-        // plankton model orders the stores the same way as below.
-        p->succ.store(nn, std::memory_order_release);
-        check::perturb_point(check::PerturbPoint::kInsertHalfLinked);
-        s->pred.store(nn, std::memory_order_release);
         p->succ_lock.unlock();
-        check::perturb_point(check::PerturbPoint::kInsertBeforeTreeLink);
-        tc.add(obs::Counter::kInsertOps);
-        tc.add(obs::Counter::kInsertSuccess);
-        insert_to_tree(parent, nn);
-        return true;
       }
-      p->succ_lock.unlock();  // validation failed; restart
-      tc.add(obs::Counter::kInsertRestarts);
+      // Failed attempt: either the interval moved under us or p no longer
+      // sits below k at all (it was unlinked and the walk strayed).
+      detail::contention_heat_add();
+      if (resumes++ < budget) {
+        // Resume in place: p's chain pointers stay valid (EBR keeps the
+        // node alive, removed nodes keep outgoing pointers), so the
+        // ordering walk re-anchors in a few hops — no descent.
+        tc.add(obs::Counter::kLocateResumes);
+        node = p;
+      } else {
+        // Resume budget exhausted: fall back to a full root re-descent.
+        resumes = 0;
+        tc.add(obs::Counter::kValidationFallbacks);
+        tc.add(obs::Counter::kInsertRestarts);
+        node = search(k, tc);
+      }
     }
   }
 
@@ -518,65 +613,93 @@ class LoCore {
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallWriter);
     const auto tc = obs::tls();
+    const std::uint32_t budget = write_resume_limit();
+    std::uint32_t resumes = 0;
+    NodeT* node = search(k, tc);
     for (;;) {
-      NodeT* node = search(k, tc);
-      NodeT* p = cmp(node, k) >= 0
-                     ? node->pred.load(std::memory_order_acquire)
-                     : node;
-      p->succ_lock.lock();
-      NodeT* s = p->succ.load(std::memory_order_relaxed);
-      if (cmp(p, k) < 0 && cmp(s, k) >= 0 &&
-          !p->mark.load(std::memory_order_acquire)) {
-        bool absent = cmp(s, k) > 0;
-        if constexpr (kLogicalRemoving) {
-          absent = absent || s->deleted.load(std::memory_order_acquire);
+      node = ordering_walk(node, k, tc);  // first chain node with key >= k
+      NodeT* p = node->pred.load(std::memory_order_acquire);
+      // Versioned capture; see insert() for the ordering argument.
+      const std::uint32_t ver = p->succ_version.load(std::memory_order_acquire);
+      NodeT* s_cap = p->succ.load(std::memory_order_acquire);
+      if (cmp(p, k) < 0) {
+        check::perturb_point(check::PerturbPoint::kWriterCaptured);
+        p->succ_lock.lock();
+        NodeT* s;
+        bool valid;
+        if (p->succ_version.load(std::memory_order_relaxed) == ver &&
+            !p->mark.load(std::memory_order_acquire) &&
+            cmp(s_cap, k) >= 0) {
+          // Fast validation; see insert() (mark recheck is mandatory).
+          s = s_cap;
+          valid = true;
+        } else {
+          s = p->succ.load(std::memory_order_relaxed);
+          valid = cmp(s, k) >= 0 && !p->mark.load(std::memory_order_acquire);
         }
-        if (absent) {
-          p->succ_lock.unlock();
-          tc.add(obs::Counter::kEraseOps);
-          return false;  // unsuccessful remove
-        }
-        // Successful removal of s. Succ locks strictly precede tree locks
-        // (paper §5.1): take s's interval lock, then the tree locks.
-        s->succ_lock.lock();
-        NodeT* np = nullptr;
-        NodeT* child = nullptr;
-        const RemovalShape shape = acquire_removal_locks(s, np, child);
-        if constexpr (kLogicalRemoving) {
-          if (shape == RemovalShape::kTwoChildren) {
-            // Logical removal only: s stays in both layouts as a zombie.
-            // This store is the linearization point (§6).
-            s->deleted.store(true, std::memory_order_release);
-            s->succ_lock.unlock();
+        if (valid) {
+          bool absent = cmp(s, k) > 0;
+          if constexpr (kLogicalRemoving) {
+            absent = absent || s->deleted.load(std::memory_order_acquire);
+          }
+          if (absent) {
             p->succ_lock.unlock();
             tc.add(obs::Counter::kEraseOps);
-            tc.add(obs::Counter::kEraseSuccess);
-            tc.add(obs::Counter::kEraseLogical);
-            return true;
+            return false;  // unsuccessful remove
           }
-        }
-        unlink_from_chain(p, s);
-        check::perturb_point(check::PerturbPoint::kEraseBeforeTreeUnlink);
-        if (shape == RemovalShape::kOneChild) {
-          unlink_node(s, np, child);
-        } else {
-          if constexpr (!kLogicalRemoving) {
-            tc.add(obs::Counter::kEraseRelocations);
-            relocate_successor(s);
+          // Successful removal of s. Succ locks strictly precede tree
+          // locks (paper §5.1): take s's interval lock, then tree locks.
+          s->succ_lock.lock();
+          NodeT* np = nullptr;
+          NodeT* child = nullptr;
+          const RemovalShape shape = acquire_removal_locks(s, np, child);
+          if constexpr (kLogicalRemoving) {
+            if (shape == RemovalShape::kTwoChildren) {
+              // Logical removal only: s stays in both layouts as a zombie.
+              // This store is the linearization point (§6).
+              s->deleted.store(true, std::memory_order_release);
+              s->succ_lock.unlock();
+              p->succ_lock.unlock();
+              tc.add(obs::Counter::kEraseOps);
+              tc.add(obs::Counter::kEraseSuccess);
+              tc.add(obs::Counter::kEraseLogical);
+              return true;
+            }
           }
+          unlink_from_chain(p, s);
+          check::perturb_point(check::PerturbPoint::kEraseBeforeTreeUnlink);
+          if (shape == RemovalShape::kOneChild) {
+            unlink_node(s, np, child);
+          } else {
+            if constexpr (!kLogicalRemoving) {
+              tc.add(obs::Counter::kEraseRelocations);
+              relocate_successor(s);
+            }
+          }
+          domain_->template retire_via<Alloc>(s);
+          tc.add(obs::Counter::kEraseOps);
+          tc.add(obs::Counter::kEraseSuccess);
+          if constexpr (kLogicalRemoving) {
+            // Opportunistic purge (paper: deleted nodes become physically
+            // removable when their child count drops): np may now qualify.
+            try_purge(np);
+          }
+          return true;
         }
-        domain_->template retire_via<Alloc>(s);
-        tc.add(obs::Counter::kEraseOps);
-        tc.add(obs::Counter::kEraseSuccess);
-        if constexpr (kLogicalRemoving) {
-          // Opportunistic purge (paper: deleted nodes become physically
-          // removable when their child count drops): np may now qualify.
-          try_purge(np);
-        }
-        return true;
+        p->succ_lock.unlock();
       }
-      p->succ_lock.unlock();  // validation failed; restart
-      tc.add(obs::Counter::kEraseRestarts);
+      // Failed attempt: resume from the captured predecessor, or fall
+      // back to a full re-descent once the budget runs out (see insert()).
+      detail::contention_heat_add();
+      if (resumes++ < budget) {
+        tc.add(obs::Counter::kLocateResumes);
+        node = p;
+      } else {
+        resumes = 0;
+        tc.add(obs::Counter::kValidationFallbacks);
+        tc.add(obs::Counter::kEraseRestarts);
+        node = search(k, tc);
+      }
     }
   }
 
@@ -606,6 +729,50 @@ class LoCore {
     return purged;
   }
 
+  /// Quiescent repair for the contention-adaptive rotation throttle
+  /// (lo/rebalance.hpp): rotations deferred while writers were hot leave
+  /// |balance factor| >= 2 nodes behind, and an abandoned climb (a
+  /// restart_balance mark-bail hands its pending height propagation to the
+  /// remover, whose own climb may legitimately stop early) can leave a
+  /// node whose *cached* heights say "balanced" while the true subtree
+  /// heights do not. The deferral widens that window — a deferred
+  /// imbalance, once rotated, shrinks its subtree by up to two levels in
+  /// one step — so this repair does not trust the caches: each pass first
+  /// re-derives every cached height bottom-up from the physical tree, then
+  /// chain-scans for |bf| >= 2 anchors (now computed from exact heights)
+  /// and re-runs the rebalance climb at each, until a fixpoint. Returns
+  /// how many anchors were repaired. Concurrent-safe, but exact heights
+  /// and strict AVL shape on return are only guaranteed with no writers
+  /// racing the repair — call it before lo::validate(check_heights=true)
+  /// after concurrent churn.
+  std::size_t repair_balance()
+    requires(Balanced)
+  {
+    std::size_t repaired = 0;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      // The repairing thread may itself still be hot from the churn that
+      // caused the deferrals; a throttled repair would defer its own
+      // repairs and never converge.
+      detail::reset_contention_heat();
+      auto g = domain_->guard();
+      recompute_heights();
+      NodeT* node = neg_->succ.load(std::memory_order_acquire);
+      while (node != pos_) {
+        NodeT* next = node->succ.load(std::memory_order_acquire);
+        if (!node->mark.load(std::memory_order_acquire) &&
+            std::abs(node->balance_factor()) >= 2) {
+          detail::rebalance_at(root_, node);
+          ++repaired;
+          progress = true;
+        }
+        node = next;
+      }
+    }
+    return repaired;
+  }
+
   // ---------------------------------------------------- introspection API
   // Used by lo/validate.hpp and the white-box tests; not part of the map
   // interface proper.
@@ -617,6 +784,55 @@ class LoCore {
   Compare key_comp() const { return comp_; }
 
  private:
+  /// Height of the subtree rooted at n, by its own cached values.
+  static std::int32_t cached_height(const NodeT* n) {
+    return std::max(n->left_height.load(std::memory_order_relaxed),
+                    n->right_height.load(std::memory_order_relaxed)) +
+           1;
+  }
+
+  /// repair_balance pass 1: re-derive every cached subtree height from the
+  /// physical tree, bottom-up (iterative post-order, explicit stack). At
+  /// quiescence the result is exact by construction; racing writers can
+  /// re-stale individual links, which the repair contract already scopes
+  /// out. Heights are performance metadata only — no search or removal
+  /// path reads them for correctness — so the unlocked stores are safe.
+  void recompute_heights()
+    requires(Balanced)
+  {
+    NodeT* top = root_->left.load(std::memory_order_acquire);
+    if (top == nullptr) return;
+    struct Frame {
+      NodeT* node;
+      int stage;  // 0: descend left, 1: descend right, 2: derive heights
+    };
+    std::vector<Frame> stack;
+    stack.push_back({top, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.stage == 0) {
+        f.stage = 1;
+        if (NodeT* l = f.node->left.load(std::memory_order_acquire)) {
+          stack.push_back({l, 0});
+        }
+      } else if (f.stage == 1) {
+        f.stage = 2;
+        if (NodeT* r = f.node->right.load(std::memory_order_acquire)) {
+          stack.push_back({r, 0});
+        }
+      } else {
+        NodeT* const n = f.node;
+        NodeT* const l = n->left.load(std::memory_order_acquire);
+        NodeT* const r = n->right.load(std::memory_order_acquire);
+        n->left_height.store(l == nullptr ? 0 : cached_height(l),
+                             std::memory_order_relaxed);
+        n->right_height.store(r == nullptr ? 0 : cached_height(r),
+                              std::memory_order_relaxed);
+        stack.pop_back();
+      }
+    }
+  }
+
   /// The one presence predicate. OnTimeRemoval owns only `mark` (off the
   /// ordering chain == removed); LogicalRemoving additionally owns
   /// `deleted` (on the chain but logically absent).
@@ -637,6 +853,16 @@ class LoCore {
     } else {
       return n->value;
     }
+  }
+
+  /// Publishes a relink of p->succ. Call under p's succ_lock, after the
+  /// succ store: both stores are release, so a capture reader that loaded
+  /// the bumped version (acquire) sees the new succ, and one that still
+  /// validates against the old version under the lock is reading a succ
+  /// this relink has not yet replaced.
+  static void bump_succ_version(NodeT* p) {
+    p->succ_version.store(p->succ_version.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_release);
   }
 
   // Three-way comparison of a node against a key, sentinel-aware:
@@ -667,21 +893,15 @@ class LoCore {
     }
   }
 
-  /// Algorithm 2's ordering walk: from wherever search ended, walk pred
-  /// until at or below k, then succ until at or above k. Terminates
-  /// because keys strictly decrease/increase along the walks (removed
-  /// nodes keep their outgoing pointers; EBR keeps them alive).
-  const NodeT* locate(const K& k, obs::Tls tc = obs::tls()) const {
-    const NodeT* node = search(k, tc);
-    check::perturb_point(check::PerturbPoint::kLocateAfterDescent);
-#if defined(LOT_INJECT_BUG)
-    // Intentionally broken linearization (checker negative control): trust
-    // the physical descent alone. A key that momentarily lives only in the
-    // ordering layout — mid-insert, or a successor detached during a
-    // two-child removal — is reported absent even though it was inserted
-    // long ago, which no linearization of the history can explain.
-    return node;
-#else
+  /// Algorithm 2's ordering walk from an arbitrary chain node: pred while
+  /// above k, back off marked nodes, succ while below k. Returns the first
+  /// node at or above k. Correct from *any* EBR-protected starting node —
+  /// removed nodes keep outgoing pointers to strictly smaller (pred) /
+  /// larger (succ) keys, so the walks terminate — which is what lets
+  /// writers resume a failed validation from their captured predecessor
+  /// instead of re-descending from the root (DESIGN.md §13).
+  template <typename NodePtr>
+  NodePtr ordering_walk(NodePtr node, const K& k, obs::Tls tc) const {
     while (cmp(node, k) > 0) {
       node = node->pred.load(std::memory_order_acquire);
     }
@@ -707,6 +927,21 @@ class LoCore {
       node = node->succ.load(std::memory_order_acquire);
     }
     return node;
+  }
+
+  /// Algorithm 2: one descent, then the ordering walk.
+  const NodeT* locate(const K& k, obs::Tls tc = obs::tls()) const {
+    const NodeT* node = search(k, tc);
+    check::perturb_point(check::PerturbPoint::kLocateAfterDescent);
+#if defined(LOT_INJECT_BUG) && LOT_INJECT_BUG == 1
+    // Intentionally broken linearization (checker negative control): trust
+    // the physical descent alone. A key that momentarily lives only in the
+    // ordering layout — mid-insert, or a successor detached during a
+    // two-child removal — is reported absent even though it was inserted
+    // long ago, which no linearization of the history can explain.
+    return node;
+#else
+    return ordering_walk(node, k, tc);
 #endif
   }
 
@@ -785,7 +1020,10 @@ class LoCore {
     sync::Backoff backoff;
     bool first = true;
     for (;;) {
-      if (!first) obs::count(obs::Counter::kRemovalLockRetries);
+      if (!first) {
+        obs::count(obs::Counter::kRemovalLockRetries);
+        detail::contention_heat_add();
+      }
       first = false;
       backoff.pause();
       n->tree_lock.lock();
@@ -857,6 +1095,10 @@ class LoCore {
     s_succ->pred.store(p, std::memory_order_release);
     check::perturb_point(check::PerturbPoint::kEraseHalfUnlinked);
     p->succ.store(s_succ, std::memory_order_release);
+    // Note the bump lands on p, not on the marked s: captures anchored at
+    // s itself are invalidated by the mark, which every validation — fast
+    // path included — rechecks under the lock.
+    bump_succ_version(p);
     s->succ_lock.unlock();
     p->succ_lock.unlock();
   }

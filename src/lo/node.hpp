@@ -56,6 +56,14 @@ struct alignas(sync::kCacheLineSize) Node {
   /// meaning with the interval (node, succ(node)) being merged away.
   std::atomic<bool> mark{false};
 
+  /// Relink stamp for the succ link: bumped under succ_lock on every store
+  /// to `succ` (insert link, chain unlink). Writers capture (version, succ)
+  /// before locking; a version match under the lock proves the captured
+  /// succ is still current, and a mismatch resumes the ordering walk from
+  /// the capture instead of re-descending from the root. Lives on the hot
+  /// line because the capture rides the same ordering walk as readers.
+  std::atomic<std::uint32_t> succ_version{0};
+
   // ---- logical ordering layout (succ_lock, on the cold line) ----
   std::atomic<Self*> pred{nullptr};
   std::atomic<Self*> succ{nullptr};
@@ -109,6 +117,9 @@ struct alignas(sync::kCacheLineSize) PartialNode {
   /// present in both layouts. Cleared by revive-in-place.
   std::atomic<bool> deleted{false};
 
+  /// Relink stamp for the succ link; see Node::succ_version.
+  std::atomic<std::uint32_t> succ_version{0};
+
   std::atomic<Self*> pred{nullptr};
   std::atomic<Self*> succ{nullptr};
 
@@ -159,6 +170,8 @@ static_assert(sizeof(ProbeNode) == 2 * sync::kCacheLineSize,
 static_assert(offsetof(ProbeNode, key) < sync::kCacheLineSize &&
                   offsetof(ProbeNode, tag) < sync::kCacheLineSize &&
                   offsetof(ProbeNode, mark) < sync::kCacheLineSize &&
+                  offsetof(ProbeNode, succ_version) + sizeof(std::uint32_t) <=
+                      sync::kCacheLineSize &&
                   offsetof(ProbeNode, pred) + sizeof(void*) <=
                       sync::kCacheLineSize &&
                   offsetof(ProbeNode, succ) + sizeof(void*) <=
@@ -182,6 +195,9 @@ static_assert(offsetof(ProbePartialNode, key) < sync::kCacheLineSize &&
                   offsetof(ProbePartialNode, tag) < sync::kCacheLineSize &&
                   offsetof(ProbePartialNode, mark) < sync::kCacheLineSize &&
                   offsetof(ProbePartialNode, deleted) < sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, succ_version) +
+                          sizeof(std::uint32_t) <=
+                      sync::kCacheLineSize &&
                   offsetof(ProbePartialNode, pred) + sizeof(void*) <=
                       sync::kCacheLineSize &&
                   offsetof(ProbePartialNode, succ) + sizeof(void*) <=

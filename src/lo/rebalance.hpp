@@ -18,6 +18,8 @@
 //    the side explicitly for the first iteration.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <utility>
 
@@ -29,6 +31,99 @@
 
 namespace lot::lo::detail {
 
+// ---- contention-adaptive rotation throttle (DESIGN.md §13) ----
+//
+// Rotations are the dominant cost under write contention (BENCH_5: 3.4M
+// rotations vs ~1M restarts on the 4-thread mixed run), and the relaxed
+// Bougé scheme already tolerates arbitrary deferral: heights are
+// performance metadata, only the *repair* is postponed. So each thread
+// keeps a contention heat score: failed write validations, removal-lock
+// retries and rebalance try-lock restarts heat it; every rebalance climb
+// iteration cools it by one. While hot, the rotation loop defers its
+// rotations (the height bookkeeping of the climb itself still runs) and
+// the imbalance is left for cooler moments — or for
+// LoCore::repair_balance() at quiescence. Note that deferral widens the
+// pre-existing window in which cached heights drift from the true subtree
+// heights: a climb abandoned on a mark-bail (restart_balance) hands its
+// pending propagation to the remover, and a deferred imbalance, once
+// rotated, can shrink its subtree by two levels at a time — which is why
+// repair_balance re-derives heights bottom-up instead of trusting the
+// caches. The state is thread-local and owned by this layer, NOT by
+// obs/ (LOT_OBS=OFF builds throttle identically); obs merely observes
+// deferral events via kRotationsDeferred.
+//
+// Compile-out: -DLOT_REBALANCE_THROTTLE=OFF (CMake option) defines
+// LOT_REBALANCE_THROTTLE_OFF, turning every hook below into a no-op so the
+// pre-throttle rotation discipline is recoverable bit-for-bit.
+
+// The tuning constants stay visible in both build flavours so tests and
+// benches can reference them unconditionally.
+inline constexpr std::uint32_t kHeatPerEvent = 64;
+inline constexpr std::uint32_t kHeatHotThreshold = 128;
+inline constexpr std::uint32_t kHeatCap = 1024;
+
+#if !defined(LOT_REBALANCE_THROTTLE_OFF)
+
+inline constexpr bool kRebalanceThrottleCompiled = true;
+
+inline std::atomic<bool>& throttle_flag() {
+  static std::atomic<bool> on{true};
+  return on;
+}
+
+inline std::uint32_t& contention_heat_tls() {
+  thread_local std::uint32_t heat = 0;
+  return heat;
+}
+
+/// One contention event (validation failure, lock retry) observed by the
+/// calling thread.
+inline void contention_heat_add() {
+  auto& h = contention_heat_tls();
+  h = h >= kHeatCap - kHeatPerEvent ? kHeatCap : h + kHeatPerEvent;
+}
+
+/// One unit of rebalance progress; called per climb iteration.
+inline void contention_heat_cool() {
+  auto& h = contention_heat_tls();
+  if (h > 0) --h;
+}
+
+inline void reset_contention_heat() { contention_heat_tls() = 0; }
+
+/// Test hook: pin the calling thread's heat for deterministic deferrals
+/// (tests/test_rebalance_throttle.cpp runs single-threaded on 1-core CI).
+inline void set_contention_heat(std::uint32_t h) { contention_heat_tls() = h; }
+inline std::uint32_t contention_heat() { return contention_heat_tls(); }
+
+/// Runtime knob (bench A/B arm): defaults to on.
+inline void set_rebalance_throttle(bool on) {
+  throttle_flag().store(on, std::memory_order_relaxed);
+}
+inline bool rebalance_throttle_enabled() {
+  return throttle_flag().load(std::memory_order_relaxed);
+}
+
+inline bool rotation_throttled() {
+  return contention_heat_tls() >= kHeatHotThreshold &&
+         throttle_flag().load(std::memory_order_relaxed);
+}
+
+#else  // LOT_REBALANCE_THROTTLE_OFF — every hook compiles away.
+
+inline constexpr bool kRebalanceThrottleCompiled = false;
+
+inline void contention_heat_add() {}
+inline void contention_heat_cool() {}
+inline void reset_contention_heat() {}
+inline void set_contention_heat(std::uint32_t) {}
+inline std::uint32_t contention_heat() { return 0; }
+inline void set_rebalance_throttle(bool) {}
+inline bool rebalance_throttle_enabled() { return false; }
+inline bool rotation_throttled() { return false; }
+
+#endif  // LOT_REBALANCE_THROTTLE_OFF
+
 /// Algorithm 14. On entry: node tree-locked, parent tree-locked or null,
 /// child lock NOT held. Releases parent, then cycles node's lock until it
 /// can pick (and lock) the child on the taller side. Returns false — with
@@ -38,6 +133,7 @@ namespace lot::lo::detail {
 template <typename N>
 bool restart_balance(N* node, N*& parent, N*& child) {
   obs::count(obs::Counter::kBalanceRestarts);
+  contention_heat_add();
   if (parent != nullptr) {
     parent->tree_lock.unlock();
     parent = nullptr;
@@ -76,6 +172,7 @@ void rebalance(N* root, N* node, N* child, bool first_is_left) {
   bool first = true;
   while (node != root) {
     obs::count(obs::Counter::kHeightPasses);
+    contention_heat_cool();
     bool is_left = (child != nullptr || !first)
                        ? (node->left.load(std::memory_order_relaxed) == child)
                        : first_is_left;
@@ -85,6 +182,15 @@ void rebalance(N* root, N* node, N* child, bool first_is_left) {
     if (!changed && std::abs(bf) < 2) break;
 
     while (std::abs(bf) >= 2) {
+      if (rotation_throttled()) {
+        // Defer the rotation, not the bookkeeping: the climb keeps
+        // updating heights above, leaving a |bf| >= 2 node behind for a
+        // later cooler climb — or for repair_balance at quiescence, which
+        // re-derives heights before anchor-scanning (see its comment for
+        // why the cached values alone cannot be trusted).
+        obs::count(obs::Counter::kRotationsDeferred);
+        break;
+      }
       // Make sure `child` is the child on the taller side; switching sides
       // needs a downward (against-order) lock.
       if ((is_left && bf <= -2) || (!is_left && bf >= 2)) {

@@ -59,10 +59,12 @@ enum class Counter : std::uint16_t {
   kMinMaxOps,         // min()/max() chain walks (no descent)
 
   // -- write-path restarts (the paper's §5.1 try-lock discipline) --------
-  kInsertRestarts,    // insert validation failures (incl. LR re-allocation)
-  kEraseRestarts,     // erase validation failures
+  kInsertRestarts,    // insert re-descents from the root (fallback path)
+  kEraseRestarts,     // erase re-descents from the root (fallback path)
   kRemovalLockRetries,// acquire_removal_locks try_lock-failure restarts
   kBalanceRestarts,   // restart_balance invocations (rebalance try_lock)
+  kLocateResumes,     // failed write validations resumed in place (no descent)
+  kValidationFallbacks,// resume budget exhausted -> full root re-descent
 
   // -- structure maintenance ---------------------------------------------
   kRotations,         // single rotations applied (a double counts twice)
@@ -72,6 +74,7 @@ enum class Counter : std::uint16_t {
   kInsertRevives,     // inserts reviving a zombie in place (LR)
   kPurgeAttempts,     // try_purge attempts that reached the lock phase
   kPurgeSuccesses,    // ... that physically removed the zombie
+  kRotationsDeferred, // rebalance climbs that skipped rotations (throttle hot)
 
   kCount
 };
@@ -98,6 +101,8 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kEraseRestarts:      return "erase_restarts";
     case Counter::kRemovalLockRetries: return "removal_lock_retries";
     case Counter::kBalanceRestarts:    return "balance_restarts";
+    case Counter::kLocateResumes:      return "locate_resumes";
+    case Counter::kValidationFallbacks:return "validation_fallbacks";
     case Counter::kRotations:          return "rotations";
     case Counter::kHeightPasses:       return "height_passes";
     case Counter::kEraseRelocations:   return "erase_relocations";
@@ -105,6 +110,7 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kInsertRevives:      return "insert_revives";
     case Counter::kPurgeAttempts:      return "purge_attempts";
     case Counter::kPurgeSuccesses:     return "purge_successes";
+    case Counter::kRotationsDeferred:  return "rotations_deferred";
     case Counter::kCount:              break;
   }
   return "?";

@@ -44,8 +44,11 @@ struct Snapshot {
   /// or one write attempt. Reads perform one descent per call by
   /// construction of the algorithm — if any read path ever re-descended,
   /// descents would exceed the accounted sum and this would go positive.
-  /// Writes re-descend only on validation failure, which the restart
-  /// counters measure independently. Signed: a mid-run snapshot can
+  /// Writes re-descend only when a failed validation exhausts its resume
+  /// budget, which the restart counters measure independently; in-place
+  /// resumes (kLocateResumes) perform no descent and so do not enter the
+  /// identity — the companion cross-check is kValidationFallbacks ==
+  /// kInsertRestarts + kEraseRestarts in fault-free runs. Signed: a mid-run
   /// transiently see more ops than descents (the descent is counted
   /// before the op completes); at quiescence the value is exact.
   std::int64_t contains_restarts() const {

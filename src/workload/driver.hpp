@@ -41,6 +41,12 @@ TrialResult run_trial(MapT& map, const Spec& spec, unsigned threads,
   // walk cannot be optimized into a no-op.
   std::atomic<std::uint64_t> scan_sink{0};
 
+  // Skewed specs share one read-only CDF table across the workers; the
+  // per-draw cost is a binary search over it.
+  const std::vector<double> zipf =
+      spec.zipf_s > 0 ? zipf_cdf(spec.zipf_s, spec.key_range)
+                      : std::vector<double>{};
+
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       using K = typename MapT::key_type;
@@ -55,8 +61,11 @@ TrialResult run_trial(MapT& map, const Spec& spec, unsigned threads,
           obs::kEnabled ? spec.latency_sample_every : 0;
       barrier.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
-        const auto key = static_cast<std::int64_t>(
-            rng.next_below(static_cast<std::uint64_t>(spec.key_range)));
+        const auto key =
+            zipf.empty()
+                ? static_cast<std::int64_t>(rng.next_below(
+                      static_cast<std::uint64_t>(spec.key_range)))
+                : zipf_draw(zipf, rng.next());
         const auto dice = rng.next_below(100);
         // Timing every op would put two clock reads on the hot path and
         // drown the structure's own cost; sample 1-in-N per worker instead.
@@ -130,13 +139,20 @@ TrialResult run_recorded_trial(
   std::vector<std::thread> workers;
   workers.reserve(threads);
 
+  const std::vector<double> zipf =
+      spec.zipf_s > 0 ? zipf_cdf(spec.zipf_s, spec.key_range)
+                      : std::vector<double>{};
+
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       util::Xoshiro256 rng(seed * 1315423911ULL + t);
       barrier.arrive_and_wait();
       for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
-        const auto key = static_cast<K>(
-            rng.next_below(static_cast<std::uint64_t>(spec.key_range)));
+        const auto key =
+            zipf.empty()
+                ? static_cast<K>(rng.next_below(
+                      static_cast<std::uint64_t>(spec.key_range)))
+                : static_cast<K>(zipf_draw(zipf, rng.next()));
         const auto dice = rng.next_below(100);
         if (dice < spec.contains_pct) {
           rec.record(t, check::Op::kContains, key,
@@ -195,6 +211,11 @@ void prefill(MapT& map, const Spec& spec, unsigned threads,
              std::uint64_t seed) {
   const auto target = static_cast<std::uint64_t>(spec.prefill_target());
   if (target == 0) return;
+  // Skewed specs prefill from the same distribution as the trial, so the
+  // steady-state population (hot set resident, sparse tail) matches.
+  const std::vector<double> zipf =
+      spec.zipf_s > 0 ? zipf_cdf(spec.zipf_s, spec.key_range)
+                      : std::vector<double>{};
   std::atomic<std::uint64_t> inserted{0};
   std::vector<std::thread> workers;
   workers.reserve(threads);
@@ -202,8 +223,11 @@ void prefill(MapT& map, const Spec& spec, unsigned threads,
     workers.emplace_back([&, t] {
       util::Xoshiro256 rng(seed * 2654435761ULL + t);
       while (inserted.load(std::memory_order_relaxed) < target) {
-        const auto key = static_cast<std::int64_t>(
-            rng.next_below(static_cast<std::uint64_t>(spec.key_range)));
+        const auto key =
+            zipf.empty()
+                ? static_cast<std::int64_t>(rng.next_below(
+                      static_cast<std::uint64_t>(spec.key_range)))
+                : zipf_draw(zipf, rng.next());
         if (map.insert(key, key)) inserted.fetch_add(1);
       }
     });
@@ -219,8 +243,11 @@ void prefill(MapT& map, const Spec& spec, unsigned threads,
     workers.emplace_back([&, t] {
       util::Xoshiro256 rng(seed * 40503ULL + t);
       for (std::uint64_t i = 0; i < per_thread; ++i) {
-        const auto key = static_cast<std::int64_t>(
-            rng.next_below(static_cast<std::uint64_t>(spec.key_range)));
+        const auto key =
+            zipf.empty()
+                ? static_cast<std::int64_t>(rng.next_below(
+                      static_cast<std::uint64_t>(spec.key_range)))
+                : zipf_draw(zipf, rng.next());
         if (rng.next_below(100) < insert_share) {
           map.insert(key, key);
         } else {

@@ -1,6 +1,21 @@
 #include "workload/spec.hpp"
 
+#include <cmath>
+
 namespace lot::workload {
+
+std::vector<double> zipf_cdf(double s, std::int64_t n) {
+  std::vector<double> cdf(static_cast<std::size_t>(n > 0 ? n : 1), 1.0);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[static_cast<std::size_t>(i)] = sum;
+  }
+  for (auto& c : cdf) c /= sum;
+  // Guard the binary search against floating-point shortfall at the tail.
+  cdf.back() = 1.0;
+  return cdf;
+}
 
 Spec make_spec(Mix mix, std::int64_t key_range) {
   switch (mix) {

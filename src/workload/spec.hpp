@@ -3,6 +3,7 @@
 // prefill discipline.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,6 +30,13 @@ struct Spec {
   // entirely (no clock reads on the hot path).
   unsigned latency_sample_every = 0;
 
+  // Key-distribution skew (bench/ablation_restart.cpp's contended arms).
+  // 0 keeps the paper's uniform draw; s > 0 draws keys Zipf(s)-ranked over
+  // [0, key_range) — rank 0 hottest — via a CDF table the driver builds
+  // once per trial (zipf_cdf below). Low ranks are adjacent keys, so the
+  // hot set also shares tree intervals, concentrating write contention.
+  double zipf_s = 0.0;
+
   /// Steady-state size the structure is prefilled to before the timed
   /// trial. The paper fills to 1/2 of the range for symmetric mixes and to
   /// 2/3 for the 2:1 insert:remove mix (the expected steady-state size).
@@ -39,6 +47,21 @@ struct Spec {
     return static_cast<std::int64_t>(static_cast<double>(key_range) * ratio);
   }
 };
+
+/// Normalized cumulative distribution of Zipf(s) over ranks 0..n-1:
+/// cdf[i] = P(rank <= i), cdf[n-1] == 1.0. Built once per trial — the
+/// per-draw cost is a binary search, no pow() on the hot path.
+std::vector<double> zipf_cdf(double s, std::int64_t n);
+
+/// Maps one uniform 64-bit draw through the CDF table to a key rank.
+inline std::int64_t zipf_draw(const std::vector<double>& cdf,
+                              std::uint64_t bits) {
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return it == cdf.end() ? static_cast<std::int64_t>(cdf.size()) - 1
+                         : static_cast<std::int64_t>(it - cdf.begin());
+}
 
 /// The three mixes evaluated in the paper.
 enum class Mix { k100C, k70C20I10R, k50C25I25R };

@@ -128,6 +128,11 @@ void run_fault_campaign(const FaultParams& p) {
           }
           barrier.arrive_and_wait();  // (2) quiescent: validate
           if (t == 0) {
+            if constexpr (MapT::kBalanced) {
+              // Converge any rotations the contention throttle deferred
+              // before asserting the strict AVL bound (DESIGN.md §13).
+              if (p.check_heights) map.repair_balance();
+            }
             const auto rep =
                 lot::lo::validate(map, p.check_heights, p.partial);
             EXPECT_TRUE(rep.ok)
@@ -173,6 +178,9 @@ void run_fault_campaign(const FaultParams& p) {
         static_cast<unsigned long long>(
             inject::fires(inject::Site::kGuardStallWriter)));
 
+    if constexpr (MapT::kBalanced) {
+      if (p.check_heights) map.repair_balance();
+    }
     const auto rep = lot::lo::validate(map, p.check_heights, p.partial);
     EXPECT_TRUE(rep.ok) << "final structural validation failed:\n"
                         << rep.to_string();

@@ -1,0 +1,112 @@
+// Checker sensitivity proof for the versioned write path: this target
+// compiles the tree with LOT_INJECT_BUG=2, which skips the succ-version
+// bump on insert's relink (lo/core.hpp). A concurrent writer that captured
+// (pred, succ, version) before the relink then sees a version match, trusts
+// its stale captured successor, and splices right past the just-inserted
+// node — orphaning it from the ordering chain while it stays reachable in
+// the tree. That is exactly the anomaly class the restart-audit campaign
+// claims to rule out; the history checker must reject it, or the resume
+// campaign's green runs would be vacuous.
+//
+// The orchestration is deliberately narrow rather than a random mixed
+// campaign, because the injected bug poisons the tree in ways that
+// *livelock* later operations instead of mis-answering them: a
+// stale-validated insert spins forever in choose_parent (the believed
+// interval's one free tree slot is already occupied by the node it is
+// splicing past), and an erase that locates an orphan retries its interval
+// acquisition forever (the orphan never becomes its predecessor's
+// successor again). The one stale write that completes AND leaves an
+// observable trace is an erase whose capture predates a racing insert into
+// the same interval: the eraser's unlink splices pred->succ past the new
+// node, the erase returns true, and the tree stays physically coherent —
+// but the new key is gone from the chain while insert() had acknowledged
+// it. A recorded range scan (which walks the chain and records absent keys
+// as contains=false observations) then contradicts the acknowledged
+// insert, and the checker must reject. So each attempt stages exactly that
+// race — one eraser, one inserter, no follow-up writes — and retries with
+// fresh timing until the window is hit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "check/history.hpp"
+#include "check/perturb.hpp"
+#include "lo/bst.hpp"
+#include "stress_common.hpp"
+
+#if !defined(LOT_INJECT_BUG) || LOT_INJECT_BUG != 2
+#error "this target must be compiled with LOT_INJECT_BUG=2"
+#endif
+
+namespace {
+
+using K = std::int64_t;
+using lot::check::Op;
+using lot::check::PerturbPoint;
+
+TEST(SeededBugStaleVersion, CheckerRejectsStaleCapturedSuccessor) {
+  // The eraser must capture its (pred, succ, version) triple before the
+  // inserter's relink and acquire the interval lock after it; the
+  // kWriterCaptured perturbation point (firing at 100%) stretches exactly
+  // that window. The race is probabilistic, so retry with varied timing
+  // before declaring the checker blind.
+  constexpr int kAttempts = 60;
+  constexpr K kVictim = 30;  // erased; the stale unlink splices past...
+  constexpr K kMid = 25;     // ...this key, freshly inserted before it
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    lot::lo::BstMap<K, K> map;
+    // tid 0: prefill + verifying scan, tid 1: eraser, tid 2: inserter.
+    lot::check::HistoryRecorder<K> rec(3, 128);
+    for (const K k : {K{10}, K{20}, K{30}, K{40}, K{50}}) {
+      rec.record(0, Op::kInsert, k, [&] { return map.insert(k, k); });
+    }
+
+    lot::check::reset_perturb_hits();
+    lot::check::set_perturbation(
+        1000, 1200 + static_cast<std::uint32_t>(attempt) * 97);
+    lot::check::enable_perturbation(true);
+
+    std::thread eraser([&] {
+      rec.record(1, Op::kRemove, kVictim, [&] { return map.erase(kVictim); });
+    });
+    std::thread inserter([&] {
+      // Staggered so the relink tends to land inside the eraser's
+      // capture->lock window; the stagger sweeps across attempts.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(300 + (attempt % 7) * 150));
+      rec.record(2, Op::kInsert, kMid, [&] { return map.insert(kMid, kMid); });
+    });
+    eraser.join();
+    inserter.join();
+    lot::check::enable_perturbation(false);
+
+    // Quiescent chain walk, decomposed into per-key contains observations
+    // (absent keys record as contains=false): if the stale unlink orphaned
+    // kMid, this scan contradicts the acknowledged insert.
+    rec.record_scan(0, K{0}, K{60},
+                    [&](const K& lo, const K& hi, auto&& sink) {
+                      map.range(lo, hi, sink);
+                    });
+
+    const auto out = lot::stress::check_history(rec.merged());
+    ASSERT_NE(out.result.verdict, lot::check::Verdict::kAborted)
+        << out.result.reason;
+    if (out.result.verdict == lot::check::Verdict::kNonLinearizable) {
+      lot::stress::print_check_stats("stale-version control", out);
+      EXPECT_FALSE(out.result.witness.empty());
+      EXPECT_FALSE(out.result.reason.empty());
+      EXPECT_GT(lot::check::perturb_hits(PerturbPoint::kWriterCaptured), 0u);
+      SUCCEED() << "seeded stale-version bug caught on attempt " << attempt
+                << ": " << out.result.reason;
+      return;
+    }
+  }
+  FAIL() << "checker accepted " << kAttempts
+         << " histories from the stale-version tree — either the missing "
+            "version bump never mattered (capture window too narrow) or "
+            "the checker cannot see the lost-update anomaly";
+}
+
+}  // namespace

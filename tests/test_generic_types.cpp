@@ -119,6 +119,7 @@ TEST(GenericTypes, StringKeysConcurrent) {
     });
   }
   for (auto& th : threads) th.join();
+  m.repair_balance();  // converge throttle-deferred rotations (quiescent)
   const auto rep = lot::lo::validate(m, true);
   EXPECT_TRUE(rep.ok) << rep.to_string();
   std::string last;

@@ -486,6 +486,9 @@ TYPED_TEST(OrderedApiTest, ScanRacesOpportunisticPurge) {
     // final quiescent sweep still runs so validate sees the purged shape.
     m.purge_all();
 
+    if constexpr (TypeParam::kBalanced) {
+      m.repair_balance();  // converge throttle-deferred rotations
+    }
     const auto rep = lot::lo::validate(m, TypeParam::kBalanced,
                                        /*partial=*/true);
     EXPECT_TRUE(rep.ok) << rep.to_string();

@@ -56,6 +56,9 @@ TYPED_TEST(ScenarioTest, Figure1RelocationNeverHidesTheSuccessor) {
 
   EXPECT_EQ(misses.load(), 0u)
       << "contains(7) observed the Figure-1 lost-node anomaly";
+  if constexpr (std::is_same_v<TypeParam, AvlMap<K, V>>) {
+    m.repair_balance();  // converge throttle-deferred rotations (quiescent)
+  }
   const auto rep = lot::lo::validate(
       m, std::is_same_v<TypeParam, AvlMap<K, V>>);
   EXPECT_TRUE(rep.ok) << rep.to_string();
@@ -158,6 +161,9 @@ TYPED_TEST(ScenarioTest, OnTimeDeletionAllowsImmediateReinsert) {
   for (auto& th : threads) th.join();
   EXPECT_FALSE(bad.load());
   EXPECT_EQ(m.size_slow(), 0u);
+  if constexpr (std::is_same_v<TypeParam, AvlMap<K, V>>) {
+    m.repair_balance();  // converge throttle-deferred rotations (quiescent)
+  }
   const auto rep = lot::lo::validate(
       m, std::is_same_v<TypeParam, AvlMap<K, V>>);
   EXPECT_TRUE(rep.ok) << rep.to_string();
@@ -205,6 +211,9 @@ TYPED_TEST(ScenarioTest, NoDeadlockUnderAdjacentKeyContention) {
     last = now;
   }
   for (auto& th : threads) th.join();
+  if constexpr (std::is_same_v<TypeParam, AvlMap<K, V>>) {
+    m.repair_balance();  // converge throttle-deferred rotations (quiescent)
+  }
   const auto rep = lot::lo::validate(
       m, std::is_same_v<TypeParam, AvlMap<K, V>>);
   EXPECT_TRUE(rep.ok) << rep.to_string();
