@@ -17,6 +17,10 @@
 #                  write path vs pre-PR root restart vs resume without the
 #                  rotation throttle, uniform and Zipf(0.99) mixes, restart
 #                  and resume counters in every row
+#   BENCH_7.json — governor ablation (ablation_storm): policies on vs off,
+#                  calm weather (the fault-free overhead row pair) and a
+#                  guard-stall storm plateau (degradation-by-design vs
+#                  by-accident)
 #
 # Usage: scripts/bench_snapshot.sh [out.json]
 # The target ablation is picked from the output name; default BENCH_4.json.
@@ -34,6 +38,7 @@ case "$OUT" in
   *BENCH_3*) TARGET=ablation_alloc ;;
   *BENCH_5*) TARGET=ablation_obs ;;
   *BENCH_6*) TARGET=ablation_restart ;;
+  *BENCH_7*) TARGET=ablation_storm ;;
   *) TARGET=ablation_range ;;
 esac
 
@@ -69,6 +74,10 @@ elif [ "$TARGET" = ablation_obs ]; then
   rm -f "${OUT}.on.tmp" "${OUT}.off.tmp"
 elif [ "$TARGET" = ablation_restart ]; then
   ./build/bench/ablation_restart \
+    --threads="$THREADS" --ranges=20000 \
+    --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
+elif [ "$TARGET" = ablation_storm ]; then
+  ./build/bench/ablation_storm \
     --threads="$THREADS" --ranges=20000 \
     --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
 else

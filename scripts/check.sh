@@ -33,7 +33,19 @@
 #   8. the LOT_REBALANCE_THROTTLE=OFF build (build-nothrottle/): the
 #      non-stress suite with the contention-adaptive rotation throttle
 #      compiled out, proving the pre-throttle rotation discipline stays
-#      recoverable and nothing depends on deferral for correctness.
+#      recoverable and nothing depends on deferral for correctness;
+#   9. the chaos storm campaign under TSan: the seeded fault-storm
+#      envelope (ramp/hold/release allocation failures + guard-stall
+#      swarms + a pinned-epoch straggler) with the overload governor
+#      required to degrade and then recover within its documented bound,
+#      every access instrumented — the governor's sampling, the storm
+#      scheduler's rate updates and the degraded write paths all race by
+#      design, and this stage proves they race benignly;
+#  10. the LOT_HEALTH=OFF build (build-nohealth/): the non-stress suite
+#      with the governor compiled out (test_health's static_asserts prove
+#      the Governor collapses to an empty type) plus the OFF-build storm
+#      survival test — the same weather with no governor, proving the
+#      health layer is an optimization, never a correctness dependency.
 #
 # A non-linearizable history makes the stress tests dump the complete
 # trace + violation witness to $LOT_HISTORY_DUMP; this script pins that
@@ -44,7 +56,7 @@ cd "$(dirname "$0")/.."
 export LOT_HISTORY_DUMP="${LOT_HISTORY_DUMP:-$PWD/history.txt}"
 rm -f "$LOT_HISTORY_DUMP"
 
-STRESS_RE='LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|LoFaultStress|DriverCapture'
+STRESS_RE='LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|LoFaultStress|LoStormStress|DriverCapture'
 SCAN_RE='LoScanStress|RecordedScanTrial'
 
 fail() {
@@ -57,32 +69,33 @@ fail() {
   exit 1
 }
 
-echo "== stage 1/8: tier-1 build + test =="
+echo "== stage 1/10: tier-1 build + test =="
 cmake -B build -S . >/dev/null || fail "configure"
 cmake --build build -j "$(nproc)" >/dev/null || fail "build"
 (cd build && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "tier-1 ctest"
 
-echo "== stage 2/8: perturbed linearizability + fault-injection stress =="
+echo "== stage 2/10: perturbed linearizability + fault-injection stress =="
 (cd build && ctest --output-on-failure -R "$STRESS_RE") \
   || fail "stress + checker"
 
-echo "== stage 3/8: ThreadSanitizer preset =="
+echo "== stage 3/10: ThreadSanitizer preset =="
 cmake --preset tsan >/dev/null || fail "tsan configure"
 cmake --build --preset tsan -j "$(nproc)" >/dev/null || fail "tsan build"
 # The explicit -E overrides the preset's own exclude filter, so it must
-# re-state the SeededBug exclusion alongside the scan stress deferral.
-ctest --preset tsan -E "SeededBug|$SCAN_RE" || fail "tsan ctest"
+# re-state the SeededBug exclusion alongside the scan and storm stress
+# deferrals (stages 4 and 9 gate those explicitly).
+ctest --preset tsan -E "SeededBug|$SCAN_RE|LoStormStress" || fail "tsan ctest"
 
-echo "== stage 4/8: scan-enabled linearizability stress under TSan =="
+echo "== stage 4/10: scan-enabled linearizability stress under TSan =="
 ctest --preset tsan -R "$SCAN_RE" || fail "tsan scan stress"
 
-echo "== stage 5/8: AddressSanitizer+LeakSanitizer preset =="
+echo "== stage 5/10: AddressSanitizer+LeakSanitizer preset =="
 cmake --preset asan >/dev/null || fail "asan configure"
 cmake --build --preset asan -j "$(nproc)" >/dev/null || fail "asan build"
 ctest --preset asan || fail "asan ctest"
 
-echo "== stage 6/8: LOT_POOL_ALLOC=OFF build + test =="
+echo "== stage 6/10: LOT_POOL_ALLOC=OFF build + test =="
 cmake -B build-nopool -S . -DLOT_POOL_ALLOC=OFF >/dev/null \
   || fail "nopool configure"
 cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
@@ -90,19 +103,35 @@ cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
   -E 'LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|DriverCapture') \
   || fail "nopool ctest (incl. fault campaign)"
 
-echo "== stage 7/8: LOT_OBS=OFF build + test =="
+echo "== stage 7/10: LOT_OBS=OFF build + test =="
 cmake -B build-noobs -S . -DLOT_OBS=OFF >/dev/null \
   || fail "noobs configure"
 cmake --build build-noobs -j "$(nproc)" >/dev/null || fail "noobs build"
 (cd build-noobs && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "noobs ctest"
 
-echo "== stage 8/8: LOT_REBALANCE_THROTTLE=OFF build + test =="
+echo "== stage 8/10: LOT_REBALANCE_THROTTLE=OFF build + test =="
 cmake -B build-nothrottle -S . -DLOT_REBALANCE_THROTTLE=OFF >/dev/null \
   || fail "nothrottle configure"
 cmake --build build-nothrottle -j "$(nproc)" >/dev/null \
   || fail "nothrottle build"
 (cd build-nothrottle && ctest --output-on-failure -j "$(nproc)" \
   -E "$STRESS_RE") || fail "nothrottle ctest"
+
+echo "== stage 9/10: chaos storm campaign under TSan =="
+ctest --preset tsan -R 'LoStormStress' || fail "tsan storm campaign"
+
+echo "== stage 10/10: LOT_HEALTH=OFF build + test =="
+cmake -B build-nohealth -S . -DLOT_HEALTH=OFF >/dev/null \
+  || fail "nohealth configure"
+cmake --build build-nohealth -j "$(nproc)" >/dev/null \
+  || fail "nohealth build"
+(cd build-nohealth && ctest --output-on-failure -j "$(nproc)" \
+  -E "$STRESS_RE") || fail "nohealth ctest"
+# The ungoverned build still rides out the full storm (no governor
+# assertions exist in this arm — survival, linearizability and leak
+# accounting only).
+(cd build-nohealth && ctest --output-on-failure -R 'LoStormStress') \
+  || fail "nohealth storm survival"
 
 echo "check.sh: all stages passed"

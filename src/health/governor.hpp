@@ -1,0 +1,218 @@
+// The overload governor: fuses the process's independent pressure signals
+// — EBR backlog / epoch lag / stall watchdog, pool fallback debt,
+// cross-thread contention heat, obs restart counters — into the single
+// health state published through health/state.hpp, with hysteresis so a
+// flapping signal cannot make the policies oscillate.
+//
+// Sampling model: there is no governor thread. Writers tick the governor
+// on a stride (maybe_sample_tick, every kSampleStride-th write per
+// thread), the tick is clock-gated (timed_sample, at most one sample per
+// min_interval), and concurrent ticks resolve by try-lock — whoever loses
+// simply skips, since a sample is a whole-process observation any thread
+// can take. Tests drive ticks explicitly through sample()/apply() with
+// the interval gate bypassed.
+//
+// State machine (DESIGN.md §14): each sample computes a severity per
+// signal against the *entry* thresholds and escalates immediately to the
+// maximum. De-escalation is one level per `recover_ticks` consecutive calm
+// samples, where calm means every signal is below the *exit* thresholds
+// (entry/2) — a signal flapping between entry and entry/2 therefore holds
+// the state rather than oscillating it. From Critical, recovery to Healthy
+// takes 3 * recover_ticks calm samples; recovery_bound() adds slack for
+// the drain itself and is the bound the storm campaign asserts.
+#pragma once
+
+#include <cstdint>
+
+#include "health/state.hpp"
+#include "reclaim/ebr.hpp"
+
+#if !defined(LOT_DISABLE_HEALTH)
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "sync/backoff.hpp"
+#endif
+
+namespace lot::health {
+
+/// What obs embeds in a Snapshot. Defined in both build flavours so
+/// obs/obs.hpp needs no gate of its own; the OFF build reports zeros.
+struct View {
+  State state = State::kHealthy;
+  std::uint64_t transitions = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t contention_events = 0;
+};
+
+#if !defined(LOT_DISABLE_HEALTH)
+
+/// Entry thresholds per target state (index 0 → Pressured, 1 → Degraded,
+/// 2 → Critical); exit thresholds are entry/2. A value of UINT64_MAX
+/// disables that signal/level (the storm campaign's negative control sets
+/// everything unreachable to model the ungoverned build).
+///
+/// The backlog defaults sit well above a healthy churning domain's
+/// steady state (~5-11k pending at 4-thread full-tilt churn with the
+/// default EBR knobs — measured in EXPERIMENTS.md A10). A governor whose
+/// Pressured line is inside normal operating range rides the threshold
+/// and taxes fault-free throughput with backoff it was never meant to
+/// apply; genuine reclamation distress (a pinned epoch under churn)
+/// accumulates tens of thousands of retires per hundred milliseconds and
+/// crosses these lines almost immediately. Campaigns with small working
+/// sets (the storm stress) override these to match their own scale.
+struct Thresholds {
+  std::uint64_t backlog[3] = {32768, 131072, 524288};  // pending retired nodes
+  std::uint64_t fallback[3] = {1, 8, 64};           // outstanding new-fallbacks
+  std::uint64_t heat[3] = {256, 1024, 4096};        // contention events / tick
+  std::uint32_t lag_floor = 2;     // epoch_lag at/above this counts as lagging
+  std::uint32_t lag_ticks = 4;     // consecutive lagging ticks → Pressured
+  std::uint32_t recover_ticks = 2; // calm ticks per de-escalation level
+};
+
+/// One sample's fused inputs. sample_signals() fills this from a live
+/// domain; tests hand apply() synthetic ones.
+struct Signals {
+  std::uint64_t backlog = 0;              // EbrDomain pending_retired
+  std::uint32_t epoch_lag = 0;            // epoch - min pinned epoch
+  bool stalled_now = false;               // stall watchdog currently firing
+  std::uint64_t fallback_outstanding = 0; // pool operator-new debt
+  std::uint64_t heat_delta = 0;           // contention events since last tick
+  std::uint64_t restart_delta = 0;        // obs restart counters since last tick
+};
+
+struct Transition {
+  std::uint64_t tick = 0;
+  State from = State::kHealthy;
+  State to = State::kHealthy;
+  const char* cause = "";  // dominant signal, or "recovery"
+};
+
+class Governor {
+ public:
+  /// Replace the thresholds (quiescent callers only; campaign setup).
+  void set_thresholds(const Thresholds& t);
+  Thresholds thresholds() const;
+
+  State state() const { return current_state(); }
+
+  /// Collect live signals from `domain` (also advances the heat/restart
+  /// differencing baselines). Public so tests can inspect what a sample
+  /// would see without applying it.
+  Signals sample_signals(reclaim::EbrDomain& domain);
+
+  /// Feed one sample through the state machine. Returns the new state.
+  /// Synthetic-signal entry point for the unit tests; skips the drain
+  /// boost (no domain at hand).
+  State apply(const Signals& s);
+
+  /// One full governor tick: collect, apply, and — at Degraded or worse
+  /// with policies enabled — boost the drain by flushing `domain`.
+  /// Concurrent callers skip (try-lock); returns the state either way.
+  State sample(reclaim::EbrDomain& domain);
+
+  /// Clock-gated sample: at most one per min_interval_us. The writers'
+  /// stride tick lands here.
+  State timed_sample(reclaim::EbrDomain& domain);
+
+  void set_min_interval_us(std::uint64_t us) {
+    min_interval_us_.store(us, std::memory_order_relaxed);
+  }
+
+  /// Documented recovery bound, in governor ticks: after the storm
+  /// releases and signals go calm, the state machine needs at most
+  /// 3 * recover_ticks calm samples from Critical, plus slack (4 ticks)
+  /// for the boosted drain to get the signals below the exit thresholds.
+  std::uint32_t recovery_bound() const {
+    return 4 + 3 * thresholds().recover_ticks;
+  }
+
+  std::uint64_t transitions() const { return transition_count(); }
+  std::uint64_t ticks() const { return tick_count(); }
+
+  /// Copy of the transition log, oldest first (bounded ring of the most
+  /// recent kLogCapacity transitions).
+  std::vector<Transition> transition_log() const;
+
+  /// Test isolation: back to Healthy, zeroed log/ticks/odometers, default
+  /// thresholds, policies on. Quiescent callers only.
+  void reset();
+
+  static constexpr std::size_t kLogCapacity = 64;
+
+ private:
+  Signals sample_signals_locked(reclaim::EbrDomain& domain);
+  State apply_locked(const Signals& s);
+  void record_transition(State from, State to, const char* cause);
+
+  mutable std::mutex mu_;  // serializes sample/apply/log/reset
+  Thresholds thresholds_{};
+  std::uint32_t calm_run_ = 0;  // consecutive calm samples at current state
+  std::uint32_t lag_run_ = 0;   // consecutive lagging samples
+  std::uint64_t last_heat_ = 0;     // differencing baselines
+  std::uint64_t last_restarts_ = 0;
+  Transition log_[kLogCapacity] = {};
+  std::uint64_t log_count_ = 0;
+  std::atomic<std::uint64_t> min_interval_us_{1000};
+  std::atomic<std::uint64_t> next_sample_us_{0};  // steady-clock deadline
+};
+
+/// The process-wide governor (the state it publishes is process-wide, so
+/// there is exactly one; multi-domain processes sample whichever domain
+/// their writers live in — pressure anywhere is pressure everywhere).
+Governor& governor();
+
+/// Per-thread write-op stride between governor ticks. Coarse on purpose:
+/// the tick itself is clock-gated, the stride only bounds how much TLS
+/// arithmetic the fault-free hot path pays.
+inline constexpr std::uint32_t kSampleStride = 2048;
+
+inline void maybe_sample_tick(reclaim::EbrDomain& domain) {
+  thread_local std::uint32_t countdown = 1;
+  if (--countdown == 0) {
+    countdown = kSampleStride;
+    governor().timed_sample(domain);
+  }
+}
+
+namespace detail {
+/// Out-of-line slow path: bounded jittered pauses per the current
+/// admission level (governor.cpp).
+void admission_pause();
+}  // namespace detail
+
+/// The writer admission gate. Call *before* taking the EBR guard: a
+/// backing-off writer must not pin an epoch, or the backoff would hold
+/// back exactly the reclamation it is trying to help. Fault-free cost is
+/// one TLS decrement plus one relaxed load.
+inline void writer_gate(reclaim::EbrDomain& domain) {
+  maybe_sample_tick(domain);
+  if (current_state() == State::kHealthy) return;
+  detail::admission_pause();
+}
+
+inline View view() {
+  return View{current_state(), transition_count(), tick_count(),
+              contention_events()};
+}
+
+#else  // LOT_DISABLE_HEALTH — empty types, empty inlines.
+
+/// Kept an empty type (tests/test_health.cpp static_asserts it) so an OFF
+/// build provably carries no governor state.
+struct Governor {};
+
+inline Governor& governor() {
+  static Governor g;
+  return g;
+}
+
+inline void maybe_sample_tick(reclaim::EbrDomain&) {}
+inline void writer_gate(reclaim::EbrDomain&) {}
+inline View view() { return View{}; }
+
+#endif  // LOT_DISABLE_HEALTH
+
+}  // namespace lot::health

@@ -1,0 +1,10 @@
+// Umbrella for the overload governor (DESIGN.md §14).
+//
+//  * health/state.hpp — published State + the policy predicates the hot
+//    layers read (dependency-free; safe below reclaim/).
+//  * health/governor.hpp — the sampling state machine, thresholds,
+//    transition log, and the writer admission gate.
+#pragma once
+
+#include "health/governor.hpp"
+#include "health/state.hpp"

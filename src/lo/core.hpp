@@ -86,6 +86,7 @@
 #include <vector>
 
 #include "check/perturb.hpp"
+#include "health/governor.hpp"
 #include "inject/inject.hpp"
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
@@ -452,6 +453,9 @@ class LoCore {
   /// Allocation failure (std::bad_alloc) offers the strong guarantee with
   /// either policy; see the header comment for the per-policy discipline.
   bool insert(const K& k, const V& v) {
+    // Admission gate before the guard: a writer backing off under pressure
+    // must not pin an epoch while it waits (health/governor.hpp).
+    health::writer_gate(*domain_);
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallWriter);
     const auto tc = obs::tls();
@@ -610,6 +614,8 @@ class LoCore {
   /// the only allocation is the retire-list bookkeeping inside
   /// EbrDomain::retire, which is OOM-safe (DESIGN.md §9).
   bool erase(const K& k) {
+    // Admission gate before the guard; see insert().
+    health::writer_gate(*domain_);
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallWriter);
     const auto tc = obs::tls();
@@ -754,7 +760,11 @@ class LoCore {
       progress = false;
       // The repairing thread may itself still be hot from the churn that
       // caused the deferrals; a throttled repair would defer its own
-      // repairs and never converge.
+      // repairs and never converge. Same for the governor's process-wide
+      // shedding: the published state may still read Degraded right after
+      // a storm, and repair is exactly how the tree gets *out* of that
+      // state, so it bypasses the shed (RAII TLS override).
+      detail::RotationShedOverride allow_rotations;
       detail::reset_contention_heat();
       auto g = domain_->guard();
       recompute_heights();
@@ -1017,7 +1027,9 @@ class LoCore {
   /// hold, and on a uniprocessor an immediate retry never lets it run
   /// (see restart_balance in lo/rebalance.hpp).
   RemovalShape acquire_removal_locks(NodeT* n, NodeT*& np, NodeT*& child) {
-    sync::Backoff backoff;
+    // Jittered: two erasers whose downward try_locks collided retry on
+    // decorrelated schedules (sync/backoff.hpp header comment).
+    sync::JitterBackoff backoff;
     bool first = true;
     for (;;) {
       if (!first) {

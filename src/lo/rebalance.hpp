@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "check/perturb.hpp"
+#include "health/state.hpp"
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
 #include "obs/counters.hpp"
@@ -77,8 +78,11 @@ inline std::uint32_t& contention_heat_tls() {
 }
 
 /// One contention event (validation failure, lock retry) observed by the
-/// calling thread.
+/// calling thread. Also feeds the governor's process-wide odometer
+/// (health/state.hpp) — the TLS heat is this thread's view, the odometer
+/// is everyone's.
 inline void contention_heat_add() {
+  health::note_contention();
   auto& h = contention_heat_tls();
   h = h >= kHeatCap - kHeatPerEvent ? kHeatCap : h + kHeatPerEvent;
 }
@@ -104,7 +108,7 @@ inline bool rebalance_throttle_enabled() {
   return throttle_flag().load(std::memory_order_relaxed);
 }
 
-inline bool rotation_throttled() {
+inline bool heat_rotation_throttled() {
   return contention_heat_tls() >= kHeatHotThreshold &&
          throttle_flag().load(std::memory_order_relaxed);
 }
@@ -113,16 +117,56 @@ inline bool rotation_throttled() {
 
 inline constexpr bool kRebalanceThrottleCompiled = false;
 
-inline void contention_heat_add() {}
+// The governor's contention odometer stays fed even with the TLS throttle
+// compiled out — shedding and heat *observation* are separate concerns.
+inline void contention_heat_add() { health::note_contention(); }
 inline void contention_heat_cool() {}
 inline void reset_contention_heat() {}
 inline void set_contention_heat(std::uint32_t) {}
 inline std::uint32_t contention_heat() { return 0; }
 inline void set_rebalance_throttle(bool) {}
 inline bool rebalance_throttle_enabled() { return false; }
-inline bool rotation_throttled() { return false; }
+inline bool heat_rotation_throttled() { return false; }
 
 #endif  // LOT_REBALANCE_THROTTLE_OFF
+
+// ---- governor-driven rotation shedding (DESIGN.md §14) ----
+//
+// The TLS heat above only sees the calling thread's own contention; the
+// overload governor publishes a process-wide verdict. At Degraded or worse
+// *every* thread defers rotations — the cross-thread heat signal the
+// ROADMAP's "generalize beyond TLS" item asked for. Gated by LOT_HEALTH
+// inside health/state.hpp (shed_rotations() is a constant false when the
+// governor is compiled out), independent of LOT_REBALANCE_THROTTLE.
+
+/// TLS escape hatch: LoCore::repair_balance() restores strict AVL shape at
+/// quiescence and must rotate even while the published state is still
+/// Degraded — without the override, repair under a not-yet-recovered
+/// governor would defer forever.
+inline bool& rotation_shed_override_tls() {
+  thread_local bool bypass = false;
+  return bypass;
+}
+
+/// RAII scope for the override (exception-safe: repair_balance's walk can
+/// throw through from recompute passes in OOM campaigns).
+class RotationShedOverride {
+ public:
+  RotationShedOverride() : prev_(rotation_shed_override_tls()) {
+    rotation_shed_override_tls() = true;
+  }
+  ~RotationShedOverride() { rotation_shed_override_tls() = prev_; }
+  RotationShedOverride(const RotationShedOverride&) = delete;
+  RotationShedOverride& operator=(const RotationShedOverride&) = delete;
+
+ private:
+  bool prev_;
+};
+
+inline bool rotation_throttled() {
+  if (rotation_shed_override_tls()) return false;
+  return heat_rotation_throttled() || health::shed_rotations();
+}
 
 /// Algorithm 14. On entry: node tree-locked, parent tree-locked or null,
 /// child lock NOT held. Releases parent, then cycles node's lock until it
@@ -138,7 +182,9 @@ bool restart_balance(N* node, N*& parent, N*& child) {
     parent->tree_lock.unlock();
     parent = nullptr;
   }
-  sync::Backoff backoff;
+  // Jittered: symmetric climbers that collided once otherwise retry on the
+  // same schedule and collide again (sync/backoff.hpp header comment).
+  sync::JitterBackoff backoff;
   for (;;) {
     node->tree_lock.unlock();
     // The pause between unlock and relock is load-bearing on a uniprocessor:

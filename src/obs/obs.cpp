@@ -38,6 +38,7 @@ Snapshot Registry::snapshot(const reclaim::EbrDomain* domain) const {
   const reclaim::EbrDomain& d =
       domain != nullptr ? *domain : reclaim::EbrDomain::global_domain();
   s.ebr = d.stats();
+  s.health = health::view();
   s.live_nodes = reclaim::AllocStats::live();
   s.counter_shards = counter_shards();
   return s;
@@ -74,19 +75,29 @@ std::string Snapshot::to_text() const {
           ebr.epoch, ebr.min_pinned_epoch, ebr.epoch_lag, ebr.pending_retired,
           ebr.backlog_peak);
   appendf(out, "  records=%zu/%zu pool_growths=%" PRIu64
-               " backpressure=%" PRIu64 " steals=%" PRIu64 " leaks=%" PRIu64
-               " stall_fires=%" PRIu64 "\n",
+               " backpressure=%" PRIu64 "/%" PRIu64 " steals=%" PRIu64
+               " leaks=%" PRIu64 "\n",
           ebr.records_in_use, ebr.record_capacity, ebr.pool_growths,
-          ebr.backpressure_hits, ebr.backlog_steals, ebr.emergency_leaks,
-          ebr.stall_watchdog_fires);
+          ebr.backpressure_hits, ebr.backpressure_throttled,
+          ebr.backlog_steals, ebr.emergency_leaks);
+  appendf(out, "  stall_fires=%" PRIu64 " stalled_now=%s "
+               "fallback_outstanding=%" PRIu64 "\n",
+          ebr.stall_watchdog_fires, ebr.stalled_now ? "true" : "false",
+          ebr.pool.fallback_outstanding());
+  appendf(out, "  health=%s transitions=%" PRIu64 " ticks=%" PRIu64
+               " contention_events=%" PRIu64 "\n",
+          health::state_name(health.state), health.transitions, health.ticks,
+          health.contention_events);
   appendf(out, "  pool: slabs=%" PRIu64 " allocs=%" PRIu64 " frees=%" PRIu64
                " remote_frees=%" PRIu64 " harvests=%" PRIu64 "\n",
           ebr.pool.slabs, ebr.pool.allocs, ebr.pool.frees,
           ebr.pool.remote_frees, ebr.pool.harvests);
-  appendf(out, "  pool: fallback=%" PRIu64 "/%" PRIu64 " caches=%" PRIu64
-               "+%" PRIu64 " adopted; live_nodes=%" PRIu64 "\n",
+  appendf(out, "  pool: fallback=%" PRIu64 "/%" PRIu64
+               " emergency_grants=%" PRIu64 " caches=%" PRIu64 "+%" PRIu64
+               " adopted; live_nodes=%" PRIu64 "\n",
           ebr.pool.fallback_allocs, ebr.pool.fallback_frees,
-          ebr.pool.caches_created, ebr.pool.caches_adopted, live_nodes);
+          ebr.pool.emergency_grants, ebr.pool.caches_created,
+          ebr.pool.caches_adopted, live_nodes);
   return out;
 }
 
@@ -121,21 +132,32 @@ std::string Snapshot::to_json() const {
           ebr.epoch, ebr.min_pinned_epoch, ebr.epoch_lag, ebr.pending_retired,
           ebr.backlog_peak, ebr.records_in_use, ebr.record_capacity);
   appendf(out, "\"pool_growths\": %" PRIu64 ", \"backpressure_hits\": %" PRIu64
+               ", \"backpressure_throttled\": %" PRIu64
                ", \"backlog_steals\": %" PRIu64 ", \"emergency_leaks\": %" PRIu64
-               ", \"stall_watchdog_fires\": %" PRIu64 ", ",
-          ebr.pool_growths, ebr.backpressure_hits, ebr.backlog_steals,
-          ebr.emergency_leaks, ebr.stall_watchdog_fires);
+               ", \"stall_watchdog_fires\": %" PRIu64 ", \"stalled_now\": %s"
+               ", \"fallback_outstanding\": %" PRIu64 ", ",
+          ebr.pool_growths, ebr.backpressure_hits, ebr.backpressure_throttled,
+          ebr.backlog_steals, ebr.emergency_leaks, ebr.stall_watchdog_fires,
+          ebr.stalled_now ? "true" : "false",
+          ebr.pool.fallback_outstanding());
+  appendf(out, "\"health_state\": \"%s\", \"health_state_level\": %u, "
+               "\"health_transitions\": %" PRIu64 ", \"health_ticks\": %" PRIu64
+               ", \"health_contention_events\": %" PRIu64 ", ",
+          health::state_name(health.state),
+          static_cast<unsigned>(health.state), health.transitions,
+          health.ticks, health.contention_events);
   appendf(out, "\"pool_slabs\": %" PRIu64 ", \"pool_allocs\": %" PRIu64
                ", \"pool_frees\": %" PRIu64 ", \"pool_remote_frees\": %" PRIu64
                ", \"pool_harvests\": %" PRIu64 ", \"pool_fallback_allocs\": %" PRIu64
                ", \"pool_fallback_frees\": %" PRIu64
                ", \"pool_caches_created\": %" PRIu64
-               ", \"pool_caches_adopted\": %" PRIu64 ", \"live_nodes\": %" PRIu64
-               "}\n",
+               ", \"pool_caches_adopted\": %" PRIu64
+               ", \"pool_emergency_grants\": %" PRIu64
+               ", \"live_nodes\": %" PRIu64 "}\n",
           ebr.pool.slabs, ebr.pool.allocs, ebr.pool.frees,
           ebr.pool.remote_frees, ebr.pool.harvests, ebr.pool.fallback_allocs,
           ebr.pool.fallback_frees, ebr.pool.caches_created,
-          ebr.pool.caches_adopted, live_nodes);
+          ebr.pool.caches_adopted, ebr.pool.emergency_grants, live_nodes);
   out += "}\n";
   return out;
 }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "health/governor.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "reclaim/ebr.hpp"
@@ -31,6 +32,7 @@ struct Snapshot {
   std::array<std::uint64_t, kCounterCount> counters{};
   std::array<HistogramStats, kOpKindCount> latency{};
   reclaim::EbrDomain::Stats ebr{};    // incl. PoolSnapshot gauges
+  health::View health{};              // governor state + odometers
   std::uint64_t live_nodes = 0;       // AllocStats::live()
   std::size_t counter_shards = 0;
 

@@ -1,10 +1,14 @@
 #include "reclaim/ebr.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
+
+#include "health/state.hpp"
 
 namespace lot::reclaim {
 namespace {
@@ -213,26 +217,49 @@ void EbrDomain::retire_raw(void* p, void (*deleter)(void*)) {
   }
   if (backlog >=
       backlog_high_water_.load(std::memory_order_relaxed)) {
-    // Backpressure: past the high-water mark every retire pays for a full
-    // reclamation attempt. Two advances move this record's whole backlog
+    // Backpressure: past the high-water mark retires pay for full
+    // reclamation attempts. Two advances move this record's whole backlog
     // out of the danger window when nothing is pinned; a straggler stops
     // the loop early (and accrues a watchdog strike inside try_advance).
-    backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
-    for (int i = 0; i < 2; ++i) {
-      if (!try_advance()) break;
-    }
-    if (global_epoch_.load(std::memory_order_acquire) !=
-        rec->last_scan_epoch.load(std::memory_order_relaxed)) {
-      free_eligible(*rec);
+    // Amortization: each advance attempt is an O(record_capacity) scan
+    // that is doomed while the straggler pins the epoch still, so while
+    // the epoch has not moved since this record's last attempt, only every
+    // stride-th retire repeats it. Any epoch movement re-arms an immediate
+    // attempt — a drained stall collapses the backlog on the very next
+    // retire, not a stride later.
+    const std::uint64_t seen = global_epoch_.load(std::memory_order_acquire);
+    if (seen != rec->bp_last_epoch || rec->bp_cooldown == 0) {
+      backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
+      for (int i = 0; i < 2; ++i) {
+        if (!try_advance()) break;
+      }
+      if (global_epoch_.load(std::memory_order_acquire) !=
+          rec->last_scan_epoch.load(std::memory_order_relaxed)) {
+        free_eligible(*rec);
+      }
+      rec->bp_last_epoch = global_epoch_.load(std::memory_order_acquire);
+      rec->bp_cooldown =
+          backpressure_stride_.load(std::memory_order_relaxed) - 1;
+    } else {
+      --rec->bp_cooldown;
+      backpressure_throttled_.fetch_add(1, std::memory_order_relaxed);
     }
     rec->since_last_scan = 0;
-  } else if (++rec->since_last_scan >=
-             retire_threshold_.load(std::memory_order_relaxed)) {
-    rec->since_last_scan = 0;
-    try_advance();
-    if (global_epoch_.load(std::memory_order_acquire) !=
-        rec->last_scan_epoch.load(std::memory_order_relaxed)) {
-      free_eligible(*rec);
+  } else {
+    // Governor drain boost: under pressure the scan threshold shrinks
+    // (halved per ebr_drain_shift level), so reclamation attempts come
+    // earlier and backlogs collapse faster while the process recovers.
+    std::size_t threshold = retire_threshold_.load(std::memory_order_relaxed);
+    if (const unsigned shift = health::ebr_drain_shift(); shift != 0) {
+      threshold = std::max<std::size_t>(1, threshold >> shift);
+    }
+    if (++rec->since_last_scan >= threshold) {
+      rec->since_last_scan = 0;
+      try_advance();
+      if (global_epoch_.load(std::memory_order_acquire) !=
+          rec->last_scan_epoch.load(std::memory_order_relaxed)) {
+        free_eligible(*rec);
+      }
     }
   }
 }
@@ -289,18 +316,41 @@ bool EbrDomain::try_advance() {
   return true;  // someone advanced (us or a racing thread)
 }
 
+namespace {
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
 void EbrDomain::note_stall(Record& rec, std::size_t index,
                            std::uint64_t pinned) {
   if (rec.stall_epoch_seen.load(std::memory_order_relaxed) != pinned) {
     // New episode (or the straggler finally moved): restart the count.
     rec.stall_epoch_seen.store(pinned, std::memory_order_relaxed);
+    rec.stall_since_us.store(steady_now_us(), std::memory_order_relaxed);
     rec.stall_strikes.store(1, std::memory_order_relaxed);
     return;
   }
   const std::uint32_t strikes =
       rec.stall_strikes.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (strikes >= stall_strike_limit_.load(std::memory_order_relaxed) &&
-      !rec.stall_reported.exchange(true, std::memory_order_relaxed)) {
+  if (strikes < stall_strike_limit_.load(std::memory_order_relaxed)) return;
+  // Strike counts are attempt-rate-dependent — full-tilt churn can burn
+  // the whole limit inside one healthy microseconds-long pin — so a
+  // report additionally requires the episode to have *aged*: only a
+  // straggler that is both struck often and stuck long is a stall. The
+  // clock is only read at/after the strike limit, never on the common
+  // transient-strike path.
+  const std::uint64_t min_age = stall_report_us_.load(std::memory_order_relaxed);
+  if (min_age != 0 &&
+      steady_now_us() -
+              rec.stall_since_us.load(std::memory_order_relaxed) <
+          min_age) {
+    return;
+  }
+  if (!rec.stall_reported.exchange(true, std::memory_order_relaxed)) {
     stall_fires_.fetch_add(1, std::memory_order_relaxed);
     stalled_record_.store(index, std::memory_order_relaxed);
     stalled_epoch_.store(pinned, std::memory_order_relaxed);
@@ -435,6 +485,8 @@ EbrDomain::Stats EbrDomain::stats() const {
   s.backlog_peak = backlog_peak_.load(std::memory_order_relaxed);
   s.pool_growths = pool_growths_.load(std::memory_order_relaxed);
   s.backpressure_hits = backpressure_hits_.load(std::memory_order_relaxed);
+  s.backpressure_throttled =
+      backpressure_throttled_.load(std::memory_order_relaxed);
   s.backlog_steals = backlog_steals_.load(std::memory_order_relaxed);
   s.emergency_leaks = emergency_leaks_.load(std::memory_order_relaxed);
   s.stall_watchdog_fires = stall_fires_.load(std::memory_order_relaxed);

@@ -60,6 +60,25 @@ class EbrDomain {
   /// Failed advance attempts against the same pinned epoch before the
   /// stall watchdog flags the record.
   static constexpr std::uint32_t kDefaultStallStrikeLimit = 64;
+  /// Wall-clock persistence a strike episode must ALSO show before it is
+  /// reported. Strike counts alone are attempt-rate-dependent: at
+  /// full-tilt churn the retire paths attempt advances so often that a
+  /// healthy microseconds-long pin can eat the whole strike limit; a
+  /// genuinely wedged straggler is distinguished by the episode's age,
+  /// not its attempt count. The default sits above the round-robin
+  /// latency of an oversubscribed-but-healthy box (threads × scheduler
+  /// slice can reach tens of ms on small CI machines) so routine
+  /// preemption does not flap the governor; a genuinely wedged reader is
+  /// stuck for far longer, and the epoch-lag persistence signal in the
+  /// governor covers the window below this line. 0 restores attempt-only
+  /// semantics (tests).
+  static constexpr std::uint64_t kDefaultStallReportUs = 50'000;
+  /// While a straggler pins the epoch, only every N-th over-high-water
+  /// retire pays for the forced advance attempt (the attempt is a full
+  /// O(record_capacity) scan that is doomed until the straggler moves);
+  /// any epoch movement re-arms an immediate attempt so a drained stall
+  /// still collapses the backlog promptly.
+  static constexpr std::size_t kDefaultBackpressureStride = 16;
 
   EbrDomain();
   ~EbrDomain();
@@ -132,6 +151,19 @@ class EbrDomain {
     stall_strike_limit_.store(n, std::memory_order_relaxed);
   }
 
+  /// Watchdog knob: minimum age (µs) of a strike episode before it may be
+  /// reported. 0 = attempt-count-only (deterministic test mode).
+  void set_stall_report_us(std::uint64_t us) {
+    stall_report_us_.store(us, std::memory_order_relaxed);
+  }
+
+  /// Amortization knob for the backpressure path: over-high-water retires
+  /// between forced advance attempts while the epoch is stuck (1 restores
+  /// the attempt-per-retire seed behaviour).
+  void set_backpressure_stride(std::size_t n) {
+    backpressure_stride_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
   std::uint64_t epoch() const {
     return global_epoch_.load(std::memory_order_acquire);
   }
@@ -155,6 +187,9 @@ class EbrDomain {
     std::size_t record_capacity = 0;
     std::uint64_t pool_growths = 0;       // extra chunks allocated
     std::uint64_t backpressure_hits = 0;  // forced advance+free retires
+    /// Over-high-water retires that skipped the forced advance because the
+    /// epoch was stuck and the record was inside its stride cooldown.
+    std::uint64_t backpressure_throttled = 0;
     std::uint64_t backlog_steals = 0;     // entries adopted by flush()
     std::uint64_t emergency_leaks = 0;    // OOM'd retire bookkeeping
     std::uint64_t stall_watchdog_fires = 0;
@@ -189,6 +224,11 @@ class EbrDomain {
     std::atomic<std::size_t> retired_count{0};
     std::vector<Retired> retired;
     std::size_t since_last_scan = 0; // owner thread only
+    // Backpressure amortization (owner thread only): retires left before
+    // the next forced advance attempt, and the epoch the last attempt
+    // observed — any movement re-arms an immediate attempt.
+    std::size_t bp_cooldown = 0;
+    std::uint64_t bp_last_epoch = 0;
     // Epoch free_eligible last scanned this list at. A rescan at the same
     // epoch is provably a no-op (entries pushed since carry the current
     // epoch, never ≤ epoch-2), so the retire paths skip it — without this
@@ -197,8 +237,10 @@ class EbrDomain {
     // into (or hands back) a list, since spliced entries carry old epochs.
     std::atomic<std::uint64_t> last_scan_epoch{0};
     // Watchdog state: how many failed advances observed this record pinned
-    // at stall_epoch_seen, and whether that episode was already reported.
+    // at stall_epoch_seen, when that episode began (steady µs), and
+    // whether it was already reported.
     std::atomic<std::uint64_t> stall_epoch_seen{0};
+    std::atomic<std::uint64_t> stall_since_us{0};
     std::atomic<std::uint32_t> stall_strikes{0};
     std::atomic<bool> stall_reported{false};
     std::atomic<std::uint64_t> owner{0};  // hashed owner thread id
@@ -258,12 +300,15 @@ class EbrDomain {
   std::atomic<std::size_t> retire_threshold_{kDefaultRetireThreshold};
   std::atomic<std::size_t> backlog_high_water_{kDefaultBacklogHighWater};
   std::atomic<std::uint32_t> stall_strike_limit_{kDefaultStallStrikeLimit};
+  std::atomic<std::uint64_t> stall_report_us_{kDefaultStallReportUs};
+  std::atomic<std::size_t> backpressure_stride_{kDefaultBackpressureStride};
   RecordChunk head_chunk_;
 
   // Health counters (stats()).
   std::atomic<std::uint64_t> pool_growths_{0};
   std::atomic<std::size_t> backlog_peak_{0};
   std::atomic<std::uint64_t> backpressure_hits_{0};
+  std::atomic<std::uint64_t> backpressure_throttled_{0};
   std::atomic<std::uint64_t> backlog_steals_{0};
   std::atomic<std::uint64_t> emergency_leaks_{0};
   std::atomic<std::uint64_t> stall_fires_{0};

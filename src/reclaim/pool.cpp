@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "health/state.hpp"
+
 #if defined(__SANITIZE_ADDRESS__)
 #define LOT_POOL_ASAN 1
 #elif defined(__has_feature)
@@ -151,6 +153,11 @@ SizePool::SizePool(std::size_t object_bytes, std::size_t object_align)
 #else
   poison_.store(false, std::memory_order_relaxed);
 #endif
+  // Arm the emergency reserve while memory is (presumably) plentiful.
+  // Nothrow: a pool constructed under pressure simply starts unarmed.
+  emergency_mem_.store(::operator new(kSlabBytes, std::align_val_t{kSlabBytes},
+                                      std::nothrow),
+                       std::memory_order_release);
   std::lock_guard<std::mutex> lock(registry_mutex());
   live_pools().insert(this);
 }
@@ -174,6 +181,10 @@ SizePool::~SizePool() {
 #endif
     static_cast<Slab*>(s)->~Slab();
     ::operator delete(s, std::align_val_t{kSlabBytes});
+  }
+  // An unconsumed reserve is raw memory, never constructed as a Slab.
+  if (void* mem = emergency_mem_.load(std::memory_order_relaxed)) {
+    ::operator delete(mem, std::align_val_t{kSlabBytes});
   }
 }
 
@@ -245,6 +256,19 @@ void* SizePool::allocate() {
     c.bump_ptr += slot_bytes_;
     PoolStats::allocs().fetch_add(1, std::memory_order_relaxed);
     return p;
+  }
+  // Break glass before the operator-new fallback, but only while the
+  // governor says the process is Degraded or worse — a Healthy pool that
+  // merely hit a test's slab_limit must keep its seed exhaustion
+  // behaviour (fallback or throw), reserve untouched.
+  if (health::prefer_emergency_reserve()) {
+    if (Slab* s = try_emergency_slab(c)) {
+      (void)s;
+      void* p = c.bump_ptr;
+      c.bump_ptr += slot_bytes_;
+      PoolStats::allocs().fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
   }
   if (fallback_enabled_.load(std::memory_order_relaxed)) {
     return fallback_allocate();
@@ -326,6 +350,43 @@ SizePool::Slab* SizePool::try_new_slab(Cache& c) {
   slab_count_.fetch_add(1, std::memory_order_relaxed);
   PoolStats::slabs().fetch_add(1, std::memory_order_relaxed);
   return s;
+}
+
+SizePool::Slab* SizePool::try_emergency_slab(Cache& c) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  void* mem = emergency_mem_.exchange(nullptr, std::memory_order_acq_rel);
+  if (mem == nullptr) return nullptr;  // unarmed, or another thread won
+  try {
+    slabs_.push_back(mem);
+  } catch (...) {
+    // Could not record it for dtor cleanup; put the reserve back intact.
+    emergency_mem_.store(mem, std::memory_order_release);
+    return nullptr;
+  }
+  // From here on it is an ordinary slab of this cache — deliberately
+  // *above* slab_limit (the limit models steady-state memory budget; the
+  // reserve is the break-glass exception, visible as emergency_grants).
+  Slab* s = ::new (mem) Slab{this, &c, c.slabs};
+  c.slabs = s;
+  c.bump_ptr = static_cast<char*>(mem) + payload_offset_;
+  c.bump_end = static_cast<char*>(mem) + kSlabBytes;
+  slab_count_.fetch_add(1, std::memory_order_relaxed);
+  PoolStats::slabs().fetch_add(1, std::memory_order_relaxed);
+  PoolStats::emergency_grants().fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+bool SizePool::rearm_emergency_reserve() {
+  if (emergency_mem_.load(std::memory_order_acquire) != nullptr) return true;
+  void* mem =
+      ::operator new(kSlabBytes, std::align_val_t{kSlabBytes}, std::nothrow);
+  if (mem == nullptr) return false;
+  void* expected = nullptr;
+  if (!emergency_mem_.compare_exchange_strong(expected, mem,
+                                              std::memory_order_acq_rel)) {
+    ::operator delete(mem, std::align_val_t{kSlabBytes});  // lost the race
+  }
+  return true;
 }
 
 void* SizePool::fallback_allocate() {

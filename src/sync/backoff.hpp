@@ -1,6 +1,7 @@
 // Bounded exponential backoff for contended atomic retry loops.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 
@@ -39,6 +40,91 @@ class Backoff {
  private:
   static constexpr std::uint32_t kMaxSpins = 64;
   std::uint32_t spins_ = 1;
+};
+
+// ---- seeded-jitter capped exponential backoff ----
+//
+// Plain Backoff gives every thread the identical pause schedule, so two
+// writers that collide once tend to collide again on the retry — the retry
+// loops in acquire_removal_locks and restart_balance resonate under
+// symmetric contention. JitterBackoff draws each pause uniformly from a
+// doubling window instead, which decorrelates the retries while keeping
+// the same bounded escalation (once the window caps, every pause also
+// yields — the uniprocessor-livelock fix documented at the call sites).
+//
+// Determinism mirrors inject.hpp: draws come from a per-thread xorshift64*
+// stream lazily seeded from a campaign seed (set_backoff_seed) and a
+// per-thread registration counter, so a storm campaign replays the same
+// pause schedule for the same seed, thread count and operation sequence.
+
+namespace detail {
+
+struct BackoffSeedState {
+  std::atomic<std::uint64_t> seed{0x9E3779B97F4A7C15ULL};
+  std::atomic<std::uint64_t> thread_counter{0};
+};
+
+inline BackoffSeedState& backoff_seed_state() {
+  static BackoffSeedState state;
+  return state;
+}
+
+/// One draw from the calling thread's stream.
+inline std::uint64_t backoff_draw() noexcept {
+  auto& st = backoff_seed_state();
+  thread_local std::uint64_t rng = [&st] {
+    // splitmix64 of (seed, thread index) — a well-mixed per-thread stream.
+    std::uint64_t z = st.seed.load(std::memory_order_relaxed) +
+                      0x9E3779B97F4A7C15ULL *
+                          (st.thread_counter.fetch_add(
+                               1, std::memory_order_relaxed) +
+                           1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return (z ^ (z >> 31)) | 1;
+  }();
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  return rng * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace detail
+
+/// Campaign seed for every thread's jitter stream. Threads that drew
+/// already keep their stream (TLS is seeded lazily, once per thread); set
+/// it before spawning the workers, like inject::set_seed.
+inline void set_backoff_seed(std::uint64_t seed) {
+  detail::backoff_seed_state().seed.store(seed | 1,
+                                          std::memory_order_relaxed);
+}
+
+/// Capped exponential backoff with seeded jitter: pause k ∈ [1, window]
+/// relax iterations, window doubling up to kMaxSpins; at the cap every
+/// pause also yields. Bounded by construction — no pause exceeds
+/// kMaxSpins relaxes plus one yield.
+class JitterBackoff {
+ public:
+  void pause() noexcept {
+    const std::uint64_t draw = detail::backoff_draw();
+    if (window_ < kMaxSpins) {
+      const std::uint32_t spins = 1 + static_cast<std::uint32_t>(draw % window_);
+      for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+      window_ *= 2;
+    } else {
+      const std::uint32_t spins =
+          1 + static_cast<std::uint32_t>(draw % kMaxSpins);
+      for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { window_ = 2; }
+
+  static constexpr std::uint32_t kMaxSpins = 64;
+
+ private:
+  std::uint32_t window_ = 2;
 };
 
 }  // namespace lot::sync

@@ -47,6 +47,7 @@ TEST(EbrHardening, WatchdogReportsOffendingRecord) {
   EbrDomain domain;
   domain.set_retire_threshold(1);    // every retire attempts an advance
   domain.set_stall_strike_limit(4);  // report quickly
+  domain.set_stall_report_us(0);     // attempt-only: deterministic here
 
   std::atomic<bool> parked{false};
   std::atomic<bool> release{false};
@@ -84,6 +85,43 @@ TEST(EbrHardening, WatchdogReportsOffendingRecord) {
   EXPECT_EQ(Tracked::live.load(), 0);
 }
 
+// The report is time-gated on top of the strike limit: full-tilt churn
+// can burn any attempt budget inside one healthy microseconds-long pin,
+// so an episode must also be *old* to be a stall. Dozens of strikes
+// against a young pin stay unreported; the same pin aged past the window
+// is reported on the very next strike.
+TEST(EbrHardening, WatchdogReportNeedsEpisodeAgeNotJustStrikes) {
+  EbrDomain domain;
+  domain.set_retire_threshold(1);      // every retire attempts an advance
+  domain.set_stall_strike_limit(4);
+  domain.set_stall_report_us(50'000);  // 50 ms: generous vs CI jitter
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread straggler([&] {
+    auto g = domain.guard();
+    parked = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  for (int i = 0; i < 32; ++i) domain.retire(new Tracked(i));
+  // ~30 strikes, but the episode is microseconds old: not a stall yet.
+  EXPECT_EQ(domain.stats().stall_watchdog_fires, 0u);
+  EXPECT_FALSE(domain.stats().stalled_now);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  domain.retire(new Tracked(99));  // same pin, same epoch — now aged
+  EXPECT_GE(domain.stats().stall_watchdog_fires, 1u);
+  EXPECT_TRUE(domain.stats().stalled_now);
+
+  release = true;
+  straggler.join();
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
 // With the scan threshold effectively disabled, only backpressure can
 // reclaim. While a guard is parked the backlog grows unboundedly-in-time
 // but every retire past the high-water mark keeps forcing advance+free,
@@ -95,6 +133,10 @@ TEST(EbrHardening, BackpressureCapsBacklogOnceStragglerUnpins) {
   EbrDomain domain;
   domain.set_retire_threshold(1u << 30);  // never reclaim via the scan path
   domain.set_backlog_high_water(kHighWater);
+  // Stride 1 = the un-amortized semantics this test pins: *every* retire
+  // past the mark forces a full attempt (the amortized path has its own
+  // tests below).
+  domain.set_backpressure_stride(1);
 
   std::atomic<bool> parked{false};
   std::atomic<bool> release{false};
@@ -123,6 +165,95 @@ TEST(EbrHardening, BackpressureCapsBacklogOnceStragglerUnpins) {
   domain.flush();
   domain.flush();
   EXPECT_EQ(Tracked::live.load(), live_before);
+}
+
+// Backpressure amortization (PR 7, satellite 6): while a straggler pins
+// the epoch every forced advance is a doomed O(record_capacity) scan, so
+// only every stride-th backpressure entry repeats it — the rest are
+// counted as throttled. The backlog still collapses promptly after the
+// straggler unpins (within one stride of retires).
+TEST(EbrHardening, BackpressureForcedAdvanceIsAmortized) {
+  constexpr std::size_t kHighWater = 64;
+  constexpr std::size_t kStride = 8;
+  constexpr int kRetired = 1000;
+  EbrDomain domain;
+  domain.set_retire_threshold(1u << 30);  // never reclaim via the scan path
+  domain.set_backlog_high_water(kHighWater);
+  domain.set_backpressure_stride(kStride);
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread straggler([&] {
+    auto g = domain.guard();
+    parked = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  for (int i = 0; i < kRetired; ++i) domain.retire(new Tracked(i));
+  const auto s = domain.stats();
+  const std::uint64_t entries = s.backpressure_hits + s.backpressure_throttled;
+  // Every retire at/past the mark entered the backpressure path (nothing
+  // was freed: the straggler pinned the whole run).
+  EXPECT_EQ(entries, static_cast<std::uint64_t>(kRetired) - kHighWater + 1);
+  // With the epoch frozen, forced attempts are one per stride (+1 for the
+  // initial attempt, whose first advance still succeeded).
+  EXPECT_LE(s.backpressure_hits, entries / kStride + 2);
+  EXPECT_GE(s.backpressure_throttled, entries - entries / kStride - 2);
+
+  release = true;
+  straggler.join();
+
+  // At most one stride of further retires reaches the next forced attempt,
+  // which now completes the two-epoch trip and drains the backlog.
+  for (std::size_t i = 0; i <= kStride; ++i) {
+    domain.retire(new Tracked(static_cast<int>(i)));
+  }
+  EXPECT_LE(domain.pending_retired(), kHighWater);
+
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+// The amortization must never delay recovery: any epoch movement since a
+// record's last forced attempt re-arms an immediate attempt, overriding a
+// cooldown that would otherwise throttle for another stride.
+TEST(EbrHardening, EpochMoveRearmsBackpressureImmediately) {
+  EbrDomain domain;
+  domain.set_retire_threshold(1u << 30);
+  domain.set_backlog_high_water(1);           // every retire is past the mark
+  domain.set_backpressure_stride(1u << 20);   // cooldown alone would throttle
+                                              // essentially forever
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread straggler([&] {
+    auto g = domain.guard();
+    parked = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  domain.retire(new Tracked(0));  // forced (stale bp_last_epoch), advances once
+  domain.retire(new Tracked(1));  // same epoch + huge cooldown: throttled
+  const auto s1 = domain.stats();
+  EXPECT_EQ(s1.backpressure_hits, 1u);
+  EXPECT_EQ(s1.backpressure_throttled, 1u);
+
+  release = true;
+  straggler.join();
+  domain.flush();  // advances the epoch past the record's bp_last_epoch
+
+  const auto before = domain.stats();
+  domain.retire(new Tracked(2));  // cooldown still huge — but the epoch moved
+  const auto after = domain.stats();
+  EXPECT_EQ(after.backpressure_hits, before.backpressure_hits + 1);
+  EXPECT_EQ(after.backpressure_throttled, before.backpressure_throttled);
+
+  domain.flush();
+  domain.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
 }
 
 // More simultaneous pinned threads than the initial pool holds: the pool
