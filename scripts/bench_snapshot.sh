@@ -21,6 +21,10 @@
 #                  calm weather (the fault-free overhead row pair) and a
 #                  guard-stall storm plateau (degradation-by-design vs
 #                  by-accident)
+#   BENCH_8.json — shard ablation (ablation_shard): ShardedMap at
+#                  shards ∈ {1,2,4,8} over the contended update-heavy mix,
+#                  uniform / Zipf(0.99) hot-shard / 10%-scan arms, plus the
+#                  per-shard isolation diagnostic in the stdout log
 #
 # Usage: scripts/bench_snapshot.sh [out.json]
 # The target ablation is picked from the output name; default BENCH_4.json.
@@ -39,6 +43,7 @@ case "$OUT" in
   *BENCH_5*) TARGET=ablation_obs ;;
   *BENCH_6*) TARGET=ablation_restart ;;
   *BENCH_7*) TARGET=ablation_storm ;;
+  *BENCH_8*) TARGET=ablation_shard ;;
   *) TARGET=ablation_range ;;
 esac
 
@@ -78,6 +83,10 @@ elif [ "$TARGET" = ablation_restart ]; then
     --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
 elif [ "$TARGET" = ablation_storm ]; then
   ./build/bench/ablation_storm \
+    --threads="$THREADS" --ranges=20000 \
+    --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
+elif [ "$TARGET" = ablation_shard ]; then
+  ./build/bench/ablation_shard \
     --threads="$THREADS" --ranges=20000 \
     --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
 else

@@ -45,7 +45,12 @@
 #      with the governor compiled out (test_health's static_asserts prove
 #      the Governor collapses to an empty type) plus the OFF-build storm
 #      survival test — the same weather with no governor, proving the
-#      health layer is an optimization, never a correctness dependency.
+#      health layer is an optimization, never a correctness dependency;
+#  11. the sharded-layer gate: the ShardedMap linearizability campaign
+#      under TSan (router + k-way merge + per-shard EBR domains, every
+#      access instrumented) plus the shards=1 degenerate-equivalence
+#      tests from the default build — the scale-out layer must be both
+#      race-free at 4 shards and provably free at 1.
 #
 # A non-linearizable history makes the stress tests dump the complete
 # trace + violation witness to $LOT_HISTORY_DUMP; this script pins that
@@ -56,7 +61,7 @@ cd "$(dirname "$0")/.."
 export LOT_HISTORY_DUMP="${LOT_HISTORY_DUMP:-$PWD/history.txt}"
 rm -f "$LOT_HISTORY_DUMP"
 
-STRESS_RE='LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|LoFaultStress|LoStormStress|DriverCapture'
+STRESS_RE='LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|LoFaultStress|LoStormStress|LoShardStress|DriverCapture'
 SCAN_RE='LoScanStress|RecordedScanTrial'
 
 fail() {
@@ -69,33 +74,34 @@ fail() {
   exit 1
 }
 
-echo "== stage 1/10: tier-1 build + test =="
+echo "== stage 1/11: tier-1 build + test =="
 cmake -B build -S . >/dev/null || fail "configure"
 cmake --build build -j "$(nproc)" >/dev/null || fail "build"
 (cd build && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "tier-1 ctest"
 
-echo "== stage 2/10: perturbed linearizability + fault-injection stress =="
+echo "== stage 2/11: perturbed linearizability + fault-injection stress =="
 (cd build && ctest --output-on-failure -R "$STRESS_RE") \
   || fail "stress + checker"
 
-echo "== stage 3/10: ThreadSanitizer preset =="
+echo "== stage 3/11: ThreadSanitizer preset =="
 cmake --preset tsan >/dev/null || fail "tsan configure"
 cmake --build --preset tsan -j "$(nproc)" >/dev/null || fail "tsan build"
 # The explicit -E overrides the preset's own exclude filter, so it must
-# re-state the SeededBug exclusion alongside the scan and storm stress
-# deferrals (stages 4 and 9 gate those explicitly).
-ctest --preset tsan -E "SeededBug|$SCAN_RE|LoStormStress" || fail "tsan ctest"
+# re-state the SeededBug exclusion alongside the scan, storm and shard
+# stress deferrals (stages 4, 9 and 11 gate those explicitly).
+ctest --preset tsan -E "SeededBug|$SCAN_RE|LoStormStress|LoShardStress" \
+  || fail "tsan ctest"
 
-echo "== stage 4/10: scan-enabled linearizability stress under TSan =="
+echo "== stage 4/11: scan-enabled linearizability stress under TSan =="
 ctest --preset tsan -R "$SCAN_RE" || fail "tsan scan stress"
 
-echo "== stage 5/10: AddressSanitizer+LeakSanitizer preset =="
+echo "== stage 5/11: AddressSanitizer+LeakSanitizer preset =="
 cmake --preset asan >/dev/null || fail "asan configure"
 cmake --build --preset asan -j "$(nproc)" >/dev/null || fail "asan build"
 ctest --preset asan || fail "asan ctest"
 
-echo "== stage 6/10: LOT_POOL_ALLOC=OFF build + test =="
+echo "== stage 6/11: LOT_POOL_ALLOC=OFF build + test =="
 cmake -B build-nopool -S . -DLOT_POOL_ALLOC=OFF >/dev/null \
   || fail "nopool configure"
 cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
@@ -103,14 +109,14 @@ cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
   -E 'LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|DriverCapture') \
   || fail "nopool ctest (incl. fault campaign)"
 
-echo "== stage 7/10: LOT_OBS=OFF build + test =="
+echo "== stage 7/11: LOT_OBS=OFF build + test =="
 cmake -B build-noobs -S . -DLOT_OBS=OFF >/dev/null \
   || fail "noobs configure"
 cmake --build build-noobs -j "$(nproc)" >/dev/null || fail "noobs build"
 (cd build-noobs && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "noobs ctest"
 
-echo "== stage 8/10: LOT_REBALANCE_THROTTLE=OFF build + test =="
+echo "== stage 8/11: LOT_REBALANCE_THROTTLE=OFF build + test =="
 cmake -B build-nothrottle -S . -DLOT_REBALANCE_THROTTLE=OFF >/dev/null \
   || fail "nothrottle configure"
 cmake --build build-nothrottle -j "$(nproc)" >/dev/null \
@@ -118,10 +124,10 @@ cmake --build build-nothrottle -j "$(nproc)" >/dev/null \
 (cd build-nothrottle && ctest --output-on-failure -j "$(nproc)" \
   -E "$STRESS_RE") || fail "nothrottle ctest"
 
-echo "== stage 9/10: chaos storm campaign under TSan =="
+echo "== stage 9/11: chaos storm campaign under TSan =="
 ctest --preset tsan -R 'LoStormStress' || fail "tsan storm campaign"
 
-echo "== stage 10/10: LOT_HEALTH=OFF build + test =="
+echo "== stage 10/11: LOT_HEALTH=OFF build + test =="
 cmake -B build-nohealth -S . -DLOT_HEALTH=OFF >/dev/null \
   || fail "nohealth configure"
 cmake --build build-nohealth -j "$(nproc)" >/dev/null \
@@ -133,5 +139,13 @@ cmake --build build-nohealth -j "$(nproc)" >/dev/null \
 # accounting only).
 (cd build-nohealth && ctest --output-on-failure -R 'LoStormStress') \
   || fail "nohealth storm survival"
+
+echo "== stage 11/11: sharded-layer gate (TSan campaign + degenerate equivalence) =="
+ctest --preset tsan -R 'LoShardStress' || fail "tsan sharded stress"
+# shards=1 must be indistinguishable from the bare tree on the same op
+# tape (default build; these also ran inside stage 1's tier-1 sweep — the
+# explicit re-run makes the acceptance criterion a named gate).
+(cd build && ctest --output-on-failure -R 'SingleShardEquivalence') \
+  || fail "shards=1 degenerate equivalence"
 
 echo "check.sh: all stages passed"

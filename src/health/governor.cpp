@@ -82,12 +82,25 @@ Signals Governor::sample_signals(reclaim::EbrDomain& domain) {
 }
 
 Signals Governor::sample_signals_locked(reclaim::EbrDomain& domain) {
-  const auto st = domain.stats();
+  // Pressure anywhere is pressure everywhere: the published state is
+  // process-wide, so the reclamation signals fold over EVERY live domain
+  // (the registry enumeration), not just the caller's — a sharded map's
+  // stalled shard must degrade the process even when the sampling writer
+  // lives on a different shard. Backlog sums (total unreclaimed garbage),
+  // lag and stall take the worst domain (one wedged reader is the
+  // failure), and the pool fallback count is already process-global.
   Signals s;
-  s.backlog = st.pending_retired;
-  s.epoch_lag = static_cast<std::uint32_t>(st.epoch_lag);
-  s.stalled_now = st.stalled_now;
-  s.fallback_outstanding = st.pool.fallback_outstanding();
+  (void)domain;  // the caller's domain matters to sample()'s drain boost,
+                 // not to the observation
+  reclaim::EbrDomain::for_each_domain([&s](reclaim::EbrDomain& d) {
+    const auto st = d.stats();
+    s.backlog += st.pending_retired;
+    s.epoch_lag =
+        std::max(s.epoch_lag, static_cast<std::uint32_t>(st.epoch_lag));
+    s.stalled_now = s.stalled_now || st.stalled_now;
+  });
+  s.fallback_outstanding =
+      reclaim::PoolStats::snapshot().fallback_outstanding();
   const std::uint64_t heat = contention_events();
   s.heat_delta = heat - last_heat_;
   last_heat_ = heat;

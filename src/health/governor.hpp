@@ -98,9 +98,13 @@ class Governor {
 
   State state() const { return current_state(); }
 
-  /// Collect live signals from `domain` (also advances the heat/restart
-  /// differencing baselines). Public so tests can inspect what a sample
-  /// would see without applying it.
+  /// Collect live signals, folded across EVERY registered EbrDomain —
+  /// backlog sums, epoch lag and the stall flag take the worst domain —
+  /// so shard-private domains (shard/sharded_map.hpp) are observed no
+  /// matter which domain's writer ticks the governor. Also advances the
+  /// heat/restart differencing baselines. Public so tests can inspect
+  /// what a sample would see without applying it; `domain` is the
+  /// caller's home domain and only directs the drain boost in sample().
   Signals sample_signals(reclaim::EbrDomain& domain);
 
   /// Feed one sample through the state machine. Returns the new state.
@@ -108,9 +112,14 @@ class Governor {
   /// boost (no domain at hand).
   State apply(const Signals& s);
 
-  /// One full governor tick: collect, apply, and — at Degraded or worse
-  /// with policies enabled — boost the drain by flushing `domain`.
-  /// Concurrent callers skip (try-lock); returns the state either way.
+  /// One full governor tick: collect (all domains), apply, and — at
+  /// Degraded or worse with policies enabled — boost the drain by
+  /// flushing the CALLER's domain only. Each pressured domain's own
+  /// writers flush it on their ticks; flushing every registered domain
+  /// here would make the sampling thread acquire an EBR record in each
+  /// (and overflow the fixed TLS record cache in heavily sharded
+  /// processes). Concurrent callers skip (try-lock); returns the state
+  /// either way.
   State sample(reclaim::EbrDomain& domain);
 
   /// Clock-gated sample: at most one per min_interval_us. The writers'
@@ -160,8 +169,9 @@ class Governor {
 };
 
 /// The process-wide governor (the state it publishes is process-wide, so
-/// there is exactly one; multi-domain processes sample whichever domain
-/// their writers live in — pressure anywhere is pressure everywhere).
+/// there is exactly one). Multi-domain processes tick it from whichever
+/// domain their writers live in; the observation itself folds over the
+/// whole domain registry — pressure anywhere is pressure everywhere.
 Governor& governor();
 
 /// Per-thread write-op stride between governor ticks. Coarse on purpose:

@@ -145,6 +145,7 @@ class LoCore {
  public:
   using key_type = K;
   using mapped_type = V;
+  using key_compare = Compare;
   using alloc_type = Alloc;
   using removal_policy = RemovalPolicy;
   using NodeT = NodeTmpl<K, V>;
@@ -152,16 +153,23 @@ class LoCore {
   static constexpr bool kBalanced = Balanced;
   static constexpr bool kLogicalRemoving = RemovalPolicy::kLogicalRemoving;
 
+  /// `alloc` is the allocation *handle* (reclaim/pool.hpp): default-
+  /// constructed it resolves the process-wide per-type pool, while a
+  /// handle over an explicit SizePool makes this structure's nodes come
+  /// from that pool alone — how ShardedMap keeps each shard's slab
+  /// traffic shard-local. Destruction stays handle-free (Alloc::destroy
+  /// is static and routes by pointer), so retire paths never need the
+  /// handle threaded through.
   explicit LoCore(reclaim::EbrDomain& domain =
                       reclaim::EbrDomain::global_domain(),
-                  Compare comp = Compare())
-      : domain_(&domain), comp_(std::move(comp)) {
+                  Compare comp = Compare(), Alloc alloc = Alloc())
+      : domain_(&domain), comp_(std::move(comp)), alloc_(std::move(alloc)) {
     // Sentinels use the same allocation policy as ordinary nodes and are
     // destroyed through it, so alloc_stats (and the pool's slot
     // accounting) balance to zero at teardown.
-    neg_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kNegInf);
+    neg_ = alloc_.template create<NodeT>(K{}, V{}, Tag::kNegInf);
     try {
-      pos_ = Alloc::template create<NodeT>(K{}, V{}, Tag::kPosInf);
+      pos_ = alloc_.template create<NodeT>(K{}, V{}, Tag::kPosInf);
     } catch (...) {
       Alloc::template destroy<NodeT>(neg_);
       throw;
@@ -386,9 +394,18 @@ class LoCore {
     /// Yields the next present key in ascending order, or empty at the
     /// end. Weakly consistent, like for_each.
     std::optional<std::pair<K, V>> next() {
+      if (pending_.has_value()) {
+        auto kv = std::move(*pending_);
+        pending_.reset();
+        return kv;
+      }
       if (node_ == map_->pos_) return std::nullopt;  // stay exhausted
       const NodeT* n = node_->succ.load(std::memory_order_acquire);
       while (n != map_->pos_) {
+        // Same widened window as range()'s chain walk: cursor advances
+        // race marks/unlinks, and the sharded merge holds cursors open
+        // far longer than a single scan does.
+        check::perturb_point(check::PerturbPoint::kRangeStep);
         const V v = read_value(n);
         if (is_present(n)) {
           node_ = n;
@@ -403,14 +420,40 @@ class LoCore {
    private:
     explicit Cursor(const LoCore& m)
         : guard_(m.domain_->guard()), map_(&m), node_(m.neg_) {}
+    /// Positioned start: one descent to the first chain node with
+    /// key >= lo. If that node is a present normal node it must be the
+    /// first key this cursor yields, but next() advances *past* node_ —
+    /// so its kv is captured eagerly (justified at this instant, the same
+    /// per-key weak consistency as range()) and replayed by the first
+    /// next() call.
+    Cursor(const LoCore& m, const K& lo)
+        : guard_(m.domain_->guard()), map_(&m) {
+      // The open's descent must be accounted like any other ordered locate
+      // or the contains_restarts audit (obs/obs.hpp) would see an orphan
+      // kTreeDescents increment.
+      const auto tc = obs::tls();
+      tc.add(obs::Counter::kOrderedLocates);
+      const NodeT* n = m.locate(lo, tc);
+      node_ = n;
+      if (n->tag == Tag::kNormal) {
+        const V v = read_value(n);
+        if (is_present(n)) pending_.emplace(n->key, v);
+      }
+    }
     reclaim::EbrDomain::Guard guard_;
     const LoCore* map_;
     const NodeT* node_;
+    std::optional<std::pair<K, V>> pending_;
     friend class LoCore;
   };
 
   /// A cursor positioned before the smallest key.
   Cursor cursor() const { return Cursor(*this); }
+
+  /// A cursor positioned before the smallest key >= lo: one O(log n)
+  /// descent instead of walking the chain from -inf — what ShardedMap's
+  /// cross-shard range merge uses to enter each shard at the range start.
+  Cursor cursor(const K& lo) const { return Cursor(*this, lo); }
 
   /// O(n) size via the ordering chain; exact at quiescence.
   std::size_t size_slow() const {
@@ -456,6 +499,10 @@ class LoCore {
     // Admission gate before the guard: a writer backing off under pressure
     // must not pin an epoch while it waits (health/governor.hpp).
     health::writer_gate(*domain_);
+    // Contention heat is accounted to this map's domain for the duration
+    // of the write (ROADMAP 2(c)): a shard-private domain gets its own
+    // TLS heat slot, so heat built here never throttles another shard.
+    detail::HeatScope heat_scope(heat_scope_domain_());
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallWriter);
     const auto tc = obs::tls();
@@ -464,7 +511,7 @@ class LoCore {
       // Allocate before any lock acquisition or retry, so a throw leaves
       // the map untouched with no locks held.
       inject::throw_if_alloc_fault(RemovalPolicy::kInsertAllocSite);
-      nn = Alloc::template create<NodeT>(k, v);
+      nn = alloc_.template create<NodeT>(k, v);
     }
     const std::uint32_t budget = write_resume_limit();
     std::uint32_t resumes = 0;
@@ -488,7 +535,7 @@ class LoCore {
             // lock-unlock-allocate-redescend round trip.
             try {
               inject::throw_if_alloc_fault(RemovalPolicy::kInsertAllocSite);
-              nn = Alloc::template create<NodeT>(k, v);
+              nn = alloc_.template create<NodeT>(k, v);
             } catch (...) {
               // The throw abandons the descents already counted with no
               // insert op to pay for the last one; one restart count
@@ -616,6 +663,7 @@ class LoCore {
   bool erase(const K& k) {
     // Admission gate before the guard; see insert().
     health::writer_gate(*domain_);
+    detail::HeatScope heat_scope(heat_scope_domain_());  // see insert()
     auto g = domain_->guard();
     inject::stall_point(inject::Site::kGuardStallWriter);
     const auto tc = obs::tls();
@@ -717,6 +765,7 @@ class LoCore {
     requires(RemovalPolicy::kLogicalRemoving)
   {
     std::size_t purged = 0;
+    detail::HeatScope heat_scope(heat_scope_domain_());  // see insert()
     bool progress = true;
     while (progress) {
       progress = false;
@@ -764,6 +813,7 @@ class LoCore {
       // shedding: the published state may still read Degraded right after
       // a storm, and repair is exactly how the tree gets *out* of that
       // state, so it bypasses the shed (RAII TLS override).
+      detail::HeatScope heat_scope(heat_scope_domain_());  // see insert()
       detail::RotationShedOverride allow_rotations;
       detail::reset_contention_heat();
       auto g = domain_->guard();
@@ -794,6 +844,15 @@ class LoCore {
   Compare key_comp() const { return comp_; }
 
  private:
+  /// The heat scope this map's writes install (lo/rebalance.hpp): null for
+  /// maps on the global domain, so the single-map common case keeps using
+  /// the default TLS slot — bit-identical to the pre-scoping behaviour and
+  /// to what the scope-free test hooks manipulate.
+  reclaim::EbrDomain* heat_scope_domain_() const {
+    return domain_ == &reclaim::EbrDomain::global_domain() ? nullptr
+                                                           : domain_;
+  }
+
   /// Height of the subtree rooted at n, by its own cached values.
   static std::int32_t cached_height(const NodeT* n) {
     return std::max(n->left_height.load(std::memory_order_relaxed),
@@ -1221,6 +1280,7 @@ class LoCore {
 
   reclaim::EbrDomain* domain_;
   Compare comp_;
+  Alloc alloc_;  // allocation handle; empty for the singleton-pool policies
   NodeT* root_;  // == pos_ (the +inf sentinel)
   NodeT* neg_;
   NodeT* pos_;

@@ -28,9 +28,54 @@
 #include "lo/detail.hpp"
 #include "lo/node.hpp"
 #include "obs/counters.hpp"
+#include "reclaim/ebr.hpp"
 #include "sync/backoff.hpp"
 
 namespace lot::lo::detail {
+
+// ---- heat scope (ROADMAP 2(c): shard-scoped contention) ----
+//
+// Heat used to be one number per thread, which meant a thread hammering a
+// hot shard would arrive at a cold shard still hot and defer rotations
+// there for no reason. The scope below keys the TLS heat by the EBR
+// domain the current structure retires through: LoCore installs its
+// domain as the scope for the duration of each write, and the heat
+// bookkeeping reads/writes the slot for that scope. nullptr is the
+// default scope — structures on the global domain (the overwhelmingly
+// common single-map case) — and is what the scope-free test hooks below
+// operate on, so single-domain behaviour is bit-identical to PR 6.
+// Scoping exists in BOTH throttle build flavours: even with the TLS
+// throttle compiled out, contention events are still attributed to the
+// right domain's odometer.
+
+inline reclaim::EbrDomain*& heat_scope_tls() {
+  thread_local reclaim::EbrDomain* scope = nullptr;
+  return scope;
+}
+
+/// RAII scope installer. LoCore's write paths wrap themselves in one,
+/// passing nullptr when the map lives on the global domain so the default
+/// slot keeps serving the common case.
+class HeatScope {
+ public:
+  explicit HeatScope(reclaim::EbrDomain* scope)
+      : prev_(heat_scope_tls()) {
+    heat_scope_tls() = scope;
+  }
+  ~HeatScope() { heat_scope_tls() = prev_; }
+  HeatScope(const HeatScope&) = delete;
+  HeatScope& operator=(const HeatScope&) = delete;
+
+ private:
+  reclaim::EbrDomain* prev_;
+};
+
+/// The domain the current contention event belongs to: the installed
+/// scope, or the global domain when no scope (or a null scope) is active.
+inline reclaim::EbrDomain& heat_scope_domain() {
+  reclaim::EbrDomain* scope = heat_scope_tls();
+  return scope != nullptr ? *scope : reclaim::EbrDomain::global_domain();
+}
 
 // ---- contention-adaptive rotation throttle (DESIGN.md §13) ----
 //
@@ -72,17 +117,57 @@ inline std::atomic<bool>& throttle_flag() {
   return on;
 }
 
+/// Per-thread heat, keyed by scope. The default (null-scope) slot is a
+/// dedicated field — the single-map fast path never scans the table — and
+/// a small fixed table serves threads touching multiple scoped shards.
+/// Table overflow recycles entry 0: heat is ≤ kHeatCap of perf metadata,
+/// so dropping a slot merely forgets some warmth. A stale scope pointer
+/// (domain died, address reused) can at worst revive another shard's
+/// residual heat — same class of harmlessness.
+struct HeatSlots {
+  static constexpr std::size_t kEntries = 8;
+  std::uint32_t default_heat = 0;
+  struct Entry {
+    const reclaim::EbrDomain* scope = nullptr;
+    std::uint32_t heat = 0;
+  };
+  Entry entries[kEntries];
+
+  std::uint32_t& slot(const reclaim::EbrDomain* scope) {
+    if (scope == nullptr) return default_heat;
+    for (auto& e : entries) {
+      if (e.scope == scope) return e.heat;
+    }
+    for (auto& e : entries) {
+      if (e.scope == nullptr) {
+        e.scope = scope;
+        e.heat = 0;
+        return e.heat;
+      }
+    }
+    entries[0].scope = scope;
+    entries[0].heat = 0;
+    return entries[0].heat;
+  }
+};
+
+inline HeatSlots& heat_slots_tls() {
+  thread_local HeatSlots slots;
+  return slots;
+}
+
+/// The calling thread's heat for the *currently installed* scope.
 inline std::uint32_t& contention_heat_tls() {
-  thread_local std::uint32_t heat = 0;
-  return heat;
+  return heat_slots_tls().slot(heat_scope_tls());
 }
 
 /// One contention event (validation failure, lock retry) observed by the
 /// calling thread. Also feeds the governor's process-wide odometer
-/// (health/state.hpp) — the TLS heat is this thread's view, the odometer
-/// is everyone's.
+/// (health/state.hpp) and the scope domain's per-shard odometer — the TLS
+/// heat is this thread's view of this shard, the odometers are everyone's.
 inline void contention_heat_add() {
   health::note_contention();
+  heat_scope_domain().note_contention_event();
   auto& h = contention_heat_tls();
   h = h >= kHeatCap - kHeatPerEvent ? kHeatCap : h + kHeatPerEvent;
 }
@@ -97,6 +182,8 @@ inline void reset_contention_heat() { contention_heat_tls() = 0; }
 
 /// Test hook: pin the calling thread's heat for deterministic deferrals
 /// (tests/test_rebalance_throttle.cpp runs single-threaded on 1-core CI).
+/// Operates on the current scope's slot — with no scope installed, the
+/// default slot, exactly the pre-scoping semantics.
 inline void set_contention_heat(std::uint32_t h) { contention_heat_tls() = h; }
 inline std::uint32_t contention_heat() { return contention_heat_tls(); }
 
@@ -117,9 +204,13 @@ inline bool heat_rotation_throttled() {
 
 inline constexpr bool kRebalanceThrottleCompiled = false;
 
-// The governor's contention odometer stays fed even with the TLS throttle
-// compiled out — shedding and heat *observation* are separate concerns.
-inline void contention_heat_add() { health::note_contention(); }
+// The governor's contention odometer (and the scope domain's per-shard
+// odometer) stay fed even with the TLS throttle compiled out — shedding
+// and heat *observation* are separate concerns.
+inline void contention_heat_add() {
+  health::note_contention();
+  heat_scope_domain().note_contention_event();
+}
 inline void contention_heat_cool() {}
 inline void reset_contention_heat() {}
 inline void set_contention_heat(std::uint32_t) {}
@@ -166,6 +257,13 @@ class RotationShedOverride {
 inline bool rotation_throttled() {
   if (rotation_shed_override_tls()) return false;
   return heat_rotation_throttled() || health::shed_rotations();
+}
+
+/// A rotation was deferred under the current scope: attribute it to the
+/// scope domain so sharded runs can see *which* shard is shedding (the
+/// process-wide kRotationsDeferred obs counter stays the aggregate view).
+inline void note_scope_rotation_deferred() {
+  heat_scope_domain().note_rotation_deferred();
 }
 
 /// Algorithm 14. On entry: node tree-locked, parent tree-locked or null,
@@ -235,6 +333,7 @@ void rebalance(N* root, N* node, N* child, bool first_is_left) {
         // re-derives heights before anchor-scanning (see its comment for
         // why the cached values alone cannot be trusted).
         obs::count(obs::Counter::kRotationsDeferred);
+        note_scope_rotation_deferred();
         break;
       }
       // Make sure `child` is the child on the taller side; switching sides

@@ -38,6 +38,23 @@ Snapshot Registry::snapshot(const reclaim::EbrDomain* domain) const {
   const reclaim::EbrDomain& d =
       domain != nullptr ? *domain : reclaim::EbrDomain::global_domain();
   s.ebr = d.stats();
+  // One row per live domain. stats() only reads atomics, so taking it
+  // inside the registry enumeration is safe — the registry mutex orders
+  // us against domain construction/destruction, nothing else.
+  s.domains.reserve(reclaim::EbrDomain::live_domain_count());
+  reclaim::EbrDomain::for_each_domain([&s](reclaim::EbrDomain& dom) {
+    const auto st = dom.stats();
+    Snapshot::DomainRow row;
+    row.uid = dom.uid();
+    row.epoch = st.epoch;
+    row.epoch_lag = st.epoch_lag;
+    row.pending_retired = st.pending_retired;
+    row.backlog_peak = st.backlog_peak;
+    row.contention_events = st.contention_events;
+    row.rotations_deferred = st.rotations_deferred;
+    row.stalled_now = st.stalled_now;
+    s.domains.push_back(row);
+  });
   s.health = health::view();
   s.live_nodes = reclaim::AllocStats::live();
   s.counter_shards = counter_shards();
@@ -84,6 +101,18 @@ std::string Snapshot::to_text() const {
                "fallback_outstanding=%" PRIu64 "\n",
           ebr.stall_watchdog_fires, ebr.stalled_now ? "true" : "false",
           ebr.pool.fallback_outstanding());
+  appendf(out, "  domains=%zu total_pending=%zu max_lag=%" PRIu64
+               " any_stalled=%s\n",
+          domains.size(), total_pending_retired(), max_epoch_lag(),
+          any_stalled() ? "true" : "false");
+  for (const DomainRow& d : domains) {
+    appendf(out, "    domain[%" PRIu64 "]: epoch=%" PRIu64 " lag=%" PRIu64
+                 " pending=%zu backlog_peak=%zu heat=%" PRIu64
+                 " rot_deferred=%" PRIu64 " stalled=%s\n",
+            d.uid, d.epoch, d.epoch_lag, d.pending_retired, d.backlog_peak,
+            d.contention_events, d.rotations_deferred,
+            d.stalled_now ? "true" : "false");
+  }
   appendf(out, "  health=%s transitions=%" PRIu64 " ticks=%" PRIu64
                " contention_events=%" PRIu64 "\n",
           health::state_name(health.state), health.transitions, health.ticks,
@@ -153,12 +182,29 @@ std::string Snapshot::to_json() const {
                ", \"pool_caches_created\": %" PRIu64
                ", \"pool_caches_adopted\": %" PRIu64
                ", \"pool_emergency_grants\": %" PRIu64
-               ", \"live_nodes\": %" PRIu64 "}\n",
+               ", \"live_nodes\": %" PRIu64 "},\n",
           ebr.pool.slabs, ebr.pool.allocs, ebr.pool.frees,
           ebr.pool.remote_frees, ebr.pool.harvests, ebr.pool.fallback_allocs,
           ebr.pool.fallback_frees, ebr.pool.caches_created,
           ebr.pool.caches_adopted, ebr.pool.emergency_grants, live_nodes);
-  out += "}\n";
+  appendf(out, "  \"domains_total_pending_retired\": %zu,\n"
+               "  \"domains_max_epoch_lag\": %" PRIu64 ",\n"
+               "  \"domains_any_stalled\": %s,\n",
+          total_pending_retired(), max_epoch_lag(),
+          any_stalled() ? "true" : "false");
+  out += "  \"domains\": [";
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    const DomainRow& d = domains[i];
+    appendf(out,
+            "%s{\"uid\": %" PRIu64 ", \"epoch\": %" PRIu64
+            ", \"epoch_lag\": %" PRIu64 ", \"pending_retired\": %zu"
+            ", \"backlog_peak\": %zu, \"contention_events\": %" PRIu64
+            ", \"rotations_deferred\": %" PRIu64 ", \"stalled_now\": %s}",
+            i == 0 ? "" : ", ", d.uid, d.epoch, d.epoch_lag,
+            d.pending_retired, d.backlog_peak, d.contention_events,
+            d.rotations_deferred, d.stalled_now ? "true" : "false");
+  }
+  out += "]\n}\n";
   return out;
 }
 

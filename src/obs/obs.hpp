@@ -16,9 +16,11 @@
 // gauges — only the hot-path hooks vanish.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "health/governor.hpp"
 #include "obs/counters.hpp"
@@ -29,12 +31,49 @@ namespace lot::obs {
 
 /// Point-in-time aggregate of every telemetry source.
 struct Snapshot {
+  /// One row per registered EbrDomain (the global domain plus every
+  /// shard-private one alive at snapshot time) — the reclamation gauges a
+  /// ShardedMap spreads across its shards, re-surfaced per shard. Rows
+  /// are keyed by the domain's process-unique uid, not an address: a
+  /// domain destroyed between snapshots simply stops appearing.
+  struct DomainRow {
+    std::uint64_t uid = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t epoch_lag = 0;
+    std::size_t pending_retired = 0;
+    std::size_t backlog_peak = 0;
+    std::uint64_t contention_events = 0;
+    std::uint64_t rotations_deferred = 0;
+    bool stalled_now = false;
+  };
+
   std::array<std::uint64_t, kCounterCount> counters{};
   std::array<HistogramStats, kOpKindCount> latency{};
   reclaim::EbrDomain::Stats ebr{};    // incl. PoolSnapshot gauges
+  std::vector<DomainRow> domains;     // every live domain, global included
   health::View health{};              // governor state + odometers
   std::uint64_t live_nodes = 0;       // AllocStats::live()
   std::size_t counter_shards = 0;
+
+  /// Aggregates over `domains` — the process-wide reclamation picture no
+  /// single domain's Stats can give once maps stop sharing one domain.
+  /// Same fold the health governor samples (sum backlog, worst lag/stall).
+  std::size_t total_pending_retired() const {
+    std::size_t n = 0;
+    for (const DomainRow& d : domains) n += d.pending_retired;
+    return n;
+  }
+  std::uint64_t max_epoch_lag() const {
+    std::uint64_t lag = 0;
+    for (const DomainRow& d : domains) lag = std::max(lag, d.epoch_lag);
+    return lag;
+  }
+  bool any_stalled() const {
+    for (const DomainRow& d : domains) {
+      if (d.stalled_now) return true;
+    }
+    return false;
+  }
 
   std::uint64_t counter(Counter c) const {
     return counters[static_cast<std::size_t>(c)];
@@ -90,8 +129,10 @@ class Registry {
  public:
   static Registry& instance();
 
-  /// Aggregates counters + histograms + gauges. `domain` defaults to the
-  /// global EBR domain shared by all trees.
+  /// Aggregates counters + histograms + gauges. `domain` selects which
+  /// domain fills the headline `ebr` gauges (default: the global domain);
+  /// `domains` always carries one row per live registered domain
+  /// regardless.
   Snapshot snapshot(const reclaim::EbrDomain* domain = nullptr) const;
 
   /// Zeroes counters and histograms (gauges are owned by their layers and

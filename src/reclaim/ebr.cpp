@@ -120,6 +120,20 @@ EbrDomain::~EbrDomain() {
   }
 }
 
+void EbrDomain::for_each_domain_impl(void (*fn)(EbrDomain&, void*),
+                                     void* ctx) {
+  // Safe under the registry mutex: a destructing domain erases itself
+  // here *before* freeing anything, so every enumerated pointer is alive
+  // for the duration of the lock.
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (EbrDomain* d : live_domains()) fn(*d, ctx);
+}
+
+std::size_t EbrDomain::live_domain_count() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return live_domains().size();
+}
+
 EbrDomain& EbrDomain::global_domain() {
   static EbrDomain domain;
   return domain;
@@ -493,6 +507,8 @@ EbrDomain::Stats EbrDomain::stats() const {
   s.stalled_record = stalled_record_.load(std::memory_order_relaxed);
   s.stalled_epoch = stalled_epoch_.load(std::memory_order_relaxed);
   s.stalled_owner = stalled_owner_.load(std::memory_order_relaxed);
+  s.contention_events = contention_events_.load(std::memory_order_relaxed);
+  s.rotations_deferred = rotations_deferred_.load(std::memory_order_relaxed);
   s.pool = PoolStats::snapshot();
   return s;
 }

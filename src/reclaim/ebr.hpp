@@ -89,6 +89,43 @@ class EbrDomain {
   /// its own.
   static EbrDomain& global_domain();
 
+  /// Enumerates every live domain (including global_domain() once it has
+  /// been touched) under the registry mutex — safe against concurrent
+  /// construction/destruction because the destructor unregisters *before*
+  /// it starts tearing the domain down. Multi-domain consumers (the
+  /// overload governor, the obs snapshot) use this instead of assuming
+  /// the global domain is the only one; sharded maps register one domain
+  /// per shard. `fn` must not construct or destroy domains (deadlock).
+  template <typename F>
+  static void for_each_domain(F&& fn) {
+    for_each_domain_impl(
+        [](EbrDomain& d, void* ctx) { (*static_cast<F*>(ctx))(d); },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+  static std::size_t live_domain_count();
+
+  /// Stable identity for this domain incarnation (registry uids start at
+  /// 1 and never repeat, even if a new domain reuses this address).
+  std::uint64_t uid() const { return uid_; }
+
+  /// Shard-scoped contention odometers (ROADMAP 2(c)). The write paths'
+  /// heat accounting (lo/rebalance.hpp) attributes contention events and
+  /// deferred rotations to the domain the structure retires through, so a
+  /// hot shard's pressure is visible per shard instead of dissolving into
+  /// one process-wide number. Relaxed: these are monotonic telemetry.
+  void note_contention_event() {
+    contention_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_rotation_deferred() {
+    rotations_deferred_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t contention_events() const {
+    return contention_events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rotations_deferred() const {
+    return rotations_deferred_.load(std::memory_order_relaxed);
+  }
+
   class Guard;
 
   /// RAII epoch pin. Re-entrant: nested guards on the same thread are
@@ -193,6 +230,11 @@ class EbrDomain {
     std::uint64_t backlog_steals = 0;     // entries adopted by flush()
     std::uint64_t emergency_leaks = 0;    // OOM'd retire bookkeeping
     std::uint64_t stall_watchdog_fires = 0;
+    /// Shard-scoped contention odometers (note_contention_event /
+    /// note_rotation_deferred) — per-domain views of what the obs-layer
+    /// counters report process-wide.
+    std::uint64_t contention_events = 0;
+    std::uint64_t rotations_deferred = 0;
     bool stalled_now = false;
     std::size_t stalled_record = static_cast<std::size_t>(-1);
     std::uint64_t stalled_epoch = 0;  // the epoch the straggler pins
@@ -205,6 +247,8 @@ class EbrDomain {
   Stats stats() const;
 
  private:
+  static void for_each_domain_impl(void (*fn)(EbrDomain&, void*), void* ctx);
+
   struct Retired {
     void* ptr;
     void (*deleter)(void*);
@@ -315,6 +359,8 @@ class EbrDomain {
   std::atomic<std::size_t> stalled_record_{static_cast<std::size_t>(-1)};
   std::atomic<std::uint64_t> stalled_epoch_{0};
   std::atomic<std::uint64_t> stalled_owner_{0};
+  std::atomic<std::uint64_t> contention_events_{0};
+  std::atomic<std::uint64_t> rotations_deferred_{0};
 
   friend class Guard;
   friend struct TlsCache;

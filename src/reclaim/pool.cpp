@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "health/state.hpp"
 
@@ -41,6 +43,44 @@ std::unordered_set<SizePool*>& live_pools() {
 std::uint64_t next_pool_uid() {
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Process-global fallback registry. A fallback pointer came from plain
+// `operator new`, so no slab-header mask can recover its owner — and
+// route_free has no pool in hand at all. One shared ptr → alignment map
+// (the alignment is needed for the sized operator delete) serves every
+// pool, guarded by one outstanding-count gate so the common all-slab case
+// pays a single relaxed-ish atomic load, never the mutex.
+std::mutex& fallback_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<void*, std::size_t>& fallback_registry() {
+  static std::unordered_map<void*, std::size_t> s;
+  return s;
+}
+
+std::atomic<std::size_t>& fallback_outstanding() {
+  static std::atomic<std::size_t> n{0};
+  return n;
+}
+
+// Frees p through the registry if it is a fallback pointer. Must be called
+// only after the acquire gate saw a non-zero outstanding count.
+bool try_free_fallback_global(void* p) {
+  std::size_t align = 0;
+  {
+    std::lock_guard<std::mutex> lock(fallback_mutex());
+    auto it = fallback_registry().find(p);
+    if (it == fallback_registry().end()) return false;
+    align = it->second;
+    fallback_registry().erase(it);
+    fallback_outstanding().fetch_sub(1, std::memory_order_release);
+  }
+  ::operator delete(p, std::align_val_t{align});
+  PoolStats::fallback_frees().fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace
@@ -278,14 +318,32 @@ void* SizePool::allocate() {
 
 void SizePool::deallocate(void* p) noexcept {
   assert(p != nullptr);
-  if (fallback_outstanding_.load(std::memory_order_acquire) != 0 &&
-      try_free_fallback(p)) {
+  if (fallback_outstanding().load(std::memory_order_acquire) != 0 &&
+      try_free_fallback_global(p)) {
     return;
   }
   // Not a fallback pointer, so it came from a slab and the mask is safe.
   auto* slab = reinterpret_cast<Slab*>(reinterpret_cast<std::uintptr_t>(p) &
                                        ~(kSlabBytes - 1));
   assert(slab->pool == this && "pointer freed into the wrong pool");
+  free_slot(slab, p);
+}
+
+void SizePool::route_free(void* p) noexcept {
+  assert(p != nullptr);
+  if (fallback_outstanding().load(std::memory_order_acquire) != 0 &&
+      try_free_fallback_global(p)) {
+    return;
+  }
+  // Not a fallback pointer: the slab header names the owning pool, which
+  // may be a per-shard instance or a pool_for<T>() singleton — either way
+  // the slot goes home without the caller knowing which.
+  auto* slab = reinterpret_cast<Slab*>(reinterpret_cast<std::uintptr_t>(p) &
+                                       ~(kSlabBytes - 1));
+  slab->pool->free_slot(slab, p);
+}
+
+void SizePool::free_slot(Slab* slab, void* p) noexcept {
   poison_slot(p);
   PoolStats::frees().fetch_add(1, std::memory_order_relaxed);
 
@@ -392,9 +450,9 @@ bool SizePool::rearm_emergency_reserve() {
 void* SizePool::fallback_allocate() {
   void* p = ::operator new(slot_bytes_, std::align_val_t{slot_align_});
   {
-    std::lock_guard<std::mutex> lock(fallback_mutex_);
+    std::lock_guard<std::mutex> lock(fallback_mutex());
     try {
-      fallback_.insert(p);
+      fallback_registry().emplace(p, slot_align_);
     } catch (...) {
       ::operator delete(p, std::align_val_t{slot_align_});
       throw;
@@ -402,19 +460,10 @@ void* SizePool::fallback_allocate() {
   }
   // Release: the non-zero count must be visible to any thread that later
   // observes this pointer (through the node's own publication/retire
-  // chain) and reaches deallocate's acquire gate.
-  fallback_outstanding_.fetch_add(1, std::memory_order_release);
+  // chain) and reaches the free paths' acquire gate.
+  fallback_outstanding().fetch_add(1, std::memory_order_release);
   PoolStats::fallback_allocs().fetch_add(1, std::memory_order_relaxed);
   return p;
-}
-
-bool SizePool::try_free_fallback(void* p) {
-  std::lock_guard<std::mutex> lock(fallback_mutex_);
-  if (fallback_.erase(p) == 0) return false;
-  fallback_outstanding_.fetch_sub(1, std::memory_order_release);
-  ::operator delete(p, std::align_val_t{slot_align_});
-  PoolStats::fallback_frees().fetch_add(1, std::memory_order_relaxed);
-  return true;
 }
 
 void SizePool::poison_slot(void* p) noexcept {

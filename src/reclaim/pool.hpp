@@ -24,8 +24,9 @@
 //    new thread, mirroring EbrDomain's record recycling;
 //  * if slab allocation fails (or a test caps it via set_slab_limit), the
 //    pool falls back to a plain aligned `operator new` per object, tracked
-//    in a side set so deallocate can route those frees back to `operator
-//    delete`; with the fallback disabled too, allocate() throws
+//    in a process-global side registry so any free path — including the
+//    pool-blind static route_free below — can route those frees back to
+//    `operator delete`; with the fallback disabled too, allocate() throws
 //    std::bad_alloc — which the insert paths surface *before* taking any
 //    lock (the PR-2 strong exception-safety contract).
 //
@@ -47,7 +48,6 @@
 #include <mutex>
 #include <new>
 #include <string_view>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -57,9 +57,12 @@
 
 namespace lot::reclaim {
 
-/// Fixed-slot-size pool. One instance serves one object size/alignment
-/// (pool_for<T>() below gives the per-type singleton); the class itself is
-/// untyped so the machinery is compiled once, not once per node type.
+/// Fixed-slot-size pool. One instance serves one object size/alignment —
+/// either the per-type process singleton (pool_for<T>() below) or a
+/// per-structure instance handed to PoolNodeAlloc (the sharded maps give
+/// each shard its own pool so remote-free traffic stays shard-local). The
+/// class itself is untyped so the machinery is compiled once, not once per
+/// node type.
 ///
 /// Thread safety: allocate()/deallocate() are safe from any thread.
 /// Destruction requires quiescence (no outstanding slots, no concurrent
@@ -83,6 +86,14 @@ class SizePool {
   /// Returns a slot from any thread. Owner thread: local free-list push.
   /// Other threads: lock-free push onto the slot's slab's remote stack.
   void deallocate(void* p) noexcept;
+
+  /// Pool-blind free: recovers the owning pool from the slab header (one
+  /// mask) and routes the slot home — or, for an operator-new fallback
+  /// pointer, through the global fallback registry. This is what lets
+  /// PoolNodeAlloc::destroy stay a *static* policy hook (EbrDomain's
+  /// retire_via stores stateless `void(*)(void*)` deleters) while
+  /// allocation goes through per-instance pool handles.
+  static void route_free(void* p) noexcept;
 
   std::size_t slot_bytes() const { return slot_bytes_; }
   std::size_t slots_per_slab() const { return slots_per_slab_; }
@@ -133,7 +144,7 @@ class SizePool {
   Slab* try_new_slab(Cache& c);    // nullptr if capped or OOM
   Slab* try_emergency_slab(Cache& c);  // consume the pre-armed reserve
   void* fallback_allocate();       // operator-new path; may throw
-  bool try_free_fallback(void* p);
+  void free_slot(Slab* slab, void* p) noexcept;  // slab slot → home list
   void poison_slot(void* p) noexcept;
   void unpoison_slot(void* p) noexcept;
 
@@ -158,13 +169,10 @@ class SizePool {
   std::vector<Cache*> caches_;  // every cache ever created (dtor cleanup)
   std::vector<void*> slabs_;    // every slab chunk (dtor cleanup)
 
-  // Fallback allocations outstanding. The counter gates the (rare) set
-  // lookup in deallocate: a fallback pointer's allocation happens-before
-  // its free (publication + EBR grace), so a zero read proves `p` is a
-  // slab slot and the mask below it is safe.
-  std::mutex fallback_mutex_;
-  std::unordered_set<void*> fallback_;
-  std::atomic<std::size_t> fallback_outstanding_{0};
+  // Fallback bookkeeping lives in a process-global registry (pool.cpp):
+  // route_free cannot know the owning pool for an operator-new pointer (no
+  // slab header to mask to), so the ptr → alignment map and the
+  // outstanding-count gate that guards the mask are shared by all pools.
 
   friend struct PoolTls;
 };
@@ -197,18 +205,29 @@ struct NewNodeAlloc {
   }
 };
 
-/// Allocation policy backed by the per-type SizePool. Keeps the AllocStats
-/// node counters moving exactly like make_counted/delete_counted, so the
-/// leak-accounting tests hold for either policy. The kPoolAlloc injection
-/// site fires here (in instrumented TUs) so the fault campaign can attack
-/// pool exhaustion on top of the insert-site injector.
+/// Allocation policy backed by a SizePool. Default-constructed it uses the
+/// per-type pool_for<T>() singleton (the seed behaviour); constructed over
+/// an explicit SizePool it becomes a per-instance handle — how ShardedMap
+/// gives every shard its own slab arena. Keeps the AllocStats node counters
+/// moving exactly like make_counted/delete_counted, so the leak-accounting
+/// tests hold for either policy. The kPoolAlloc injection site fires here
+/// (in instrumented TUs) so the fault campaign can attack pool exhaustion
+/// on top of the insert-site injector.
+///
+/// create() is an instance method (the handle decides where memory comes
+/// from); destroy() is deliberately *static* — EbrDomain::retire_via
+/// stores stateless `void(*)(void*)` deleters, so the free path recovers
+/// the owning pool from the pointer itself (SizePool::route_free).
 struct PoolNodeAlloc {
   static constexpr std::string_view name() { return "pool"; }
 
+  constexpr PoolNodeAlloc() = default;
+  explicit PoolNodeAlloc(SizePool& pool) : pool_(&pool) {}
+
   template <typename T, typename... Args>
-  static T* create(Args&&... args) {
+  T* create(Args&&... args) const {
     inject::throw_if_alloc_fault(inject::Site::kPoolAlloc);
-    SizePool& pool = pool_for<T>();
+    SizePool& pool = pool_ != nullptr ? *pool_ : pool_for<T>();
     void* mem = pool.allocate();
     T* p;
     try {
@@ -226,8 +245,11 @@ struct PoolNodeAlloc {
     if (p == nullptr) return;
     AllocStats::freed().fetch_add(1, std::memory_order_relaxed);
     p->~T();
-    pool_for<T>().deallocate(p);
+    SizePool::route_free(p);
   }
+
+ private:
+  SizePool* pool_ = nullptr;
 };
 
 /// What LoMap/PartialMap default to. LOT_POOL_ALLOC=OFF (CMake) defines

@@ -1,0 +1,86 @@
+// K-way merge over per-shard ordered cursors (DESIGN.md §15).
+//
+// Each shard's Cursor yields its keys in strictly ascending order, and the
+// router gives every key to exactly one shard, so merging the per-shard
+// streams by a binary min-heap on the head key reproduces the global
+// ascending order with no deduplication step. Cost: O(log k) comparisons
+// per yielded key over k shards, after k initial cursor opens.
+//
+// Consistency: the merge inherits each shard cursor's per-key weak
+// consistency (DESIGN.md §11) and adds nothing across shards — two keys
+// yielded by different shards were each present at some instant during
+// the merge, but not necessarily the *same* instant. See the ShardedMap
+// header for the full caveat.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace lot::shard {
+
+/// Merges k ordered streams from cursors yielding
+/// std::optional<std::pair<K, V>>. Cursors are consumed (moved in) and
+/// never relocated afterwards — map cursors are move-constructible but
+/// not move-assignable (they carry an EBR guard), so the heap holds
+/// {head, index} entries and indexes into the stable cursor vector.
+template <typename Cursor, typename K, typename V, typename Compare>
+class KWayMerge {
+ public:
+  KWayMerge(std::vector<Cursor> cursors, Compare comp)
+      : comp_(std::move(comp)), cursors_(std::move(cursors)) {
+    heap_.reserve(cursors_.size());
+    for (std::size_t i = 0; i < cursors_.size(); ++i) {
+      if (auto head = cursors_[i].next(); head.has_value()) {
+        heap_.push_back(Entry{std::move(*head), i});
+      }
+    }
+    for (std::size_t i = heap_.size(); i-- > 0;) sift_down(i);
+  }
+
+  /// Smallest remaining head across all streams, or empty when every
+  /// stream is exhausted.
+  std::optional<std::pair<K, V>> next() {
+    if (heap_.empty()) return std::nullopt;
+    std::optional<std::pair<K, V>> out = std::move(heap_[0].head);
+    if (auto head = cursors_[heap_[0].index].next(); head.has_value()) {
+      heap_[0].head = std::move(*head);
+    } else {
+      heap_[0] = std::move(heap_.back());
+      heap_.pop_back();
+    }
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::pair<K, V> head;
+    std::size_t index;  // into cursors_
+  };
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && comp_(heap_[l].head.first, heap_[smallest].head.first)) {
+        smallest = l;
+      }
+      if (r < n && comp_(heap_[r].head.first, heap_[smallest].head.first)) {
+        smallest = r;
+      }
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  Compare comp_;
+  std::vector<Cursor> cursors_;  // stable: heap entries index into it
+  std::vector<Entry> heap_;      // min-heap by head key
+};
+
+}  // namespace lot::shard

@@ -1,0 +1,72 @@
+// Shard router (DESIGN.md §15): key → shard assignment plus per-shard
+// routing telemetry.
+//
+// Partitioning is *striped block* partitioning over a power-of-two shard
+// count: the key space is cut into contiguous blocks of 2^kBlockShift
+// keys and block b lands on shard b mod N (one shift, one mask — no
+// division, no per-key hashing state). Two properties motivate the
+// stripe over a contiguous split of the key range:
+//
+//  * no resize/estimation problem — a contiguous split needs to know the
+//    key distribution up front or rebalance later; stripes spread any
+//    dense key interval across all shards automatically;
+//  * locality within a block — workloads that scan short ranges (the
+//    driver's scan_len is comparable to a block) mostly stay inside one
+//    shard per block hop, while a zipfian point-op workload concentrates
+//    its hottest ranks (0..2^kBlockShift-1) in a single shard — which is
+//    exactly the hot-shard scenario the per-shard EBR/heat isolation is
+//    built for, and what bench/ablation_shard.cpp measures.
+//
+// Correctness never depends on the assignment: every shard's cursor is
+// sorted and the cross-shard ordered API re-merges globally (merge.hpp),
+// so shard_of is pure routing policy. It must only be deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "sync/cacheline.hpp"
+
+namespace lot::shard {
+
+/// log2 of the stripe block size: 64 consecutive keys per block, sized to
+/// keep short range scans shard-local while still interleaving at a
+/// granularity far below any realistic hot range.
+inline constexpr unsigned kBlockShift = 6;
+
+/// Shard index for key k over `nshards` (power of two) shards. Signed
+/// keys go through make_unsigned — negative keys wrap high, which is fine:
+/// the assignment only needs to be deterministic, not order-preserving.
+template <typename K>
+constexpr std::size_t shard_of(const K& k, std::size_t nshards) {
+  static_assert(std::is_integral_v<K>,
+                "the shard router partitions integral key spaces; wrap "
+                "other key types in an order-preserving encoding first");
+  using U = std::make_unsigned_t<K>;
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(static_cast<U>(k)) >> kBlockShift) &
+      (nshards - 1));
+}
+
+/// Per-shard routing counters, one cacheline each so two shards' routing
+/// hot paths never false-share. Point ops (insert/erase/contains/get)
+/// count against the one shard they route to; ordered ops (min/max/
+/// for_each/range/first/last_in_range/cursor) touch every shard and count
+/// once per shard they enter. Relaxed monotonic telemetry, same contract
+/// as the obs counters.
+struct alignas(sync::kCacheLineSize) RouterShardStats {
+  std::atomic<std::uint64_t> point_ops{0};
+  std::atomic<std::uint64_t> ordered_ops{0};
+
+  void note_point() { point_ops.fetch_add(1, std::memory_order_relaxed); }
+  void note_ordered() { ordered_ops.fetch_add(1, std::memory_order_relaxed); }
+};
+
+struct RouterStatsSnapshot {
+  std::uint64_t point_ops = 0;
+  std::uint64_t ordered_ops = 0;
+};
+
+}  // namespace lot::shard

@@ -1,0 +1,368 @@
+// ShardedMap: the shard-routed scale-out layer (DESIGN.md §15, ROADMAP 1).
+//
+// Partitions an integral key space across N inner maps ("shards"), each a
+// complete LoCore-backed tree with its OWN reclamation universe:
+//
+//  * a private EbrDomain — one shard's stalled reader or retire backlog
+//    pins that shard's epoch only; the other shards keep reclaiming.
+//    Writers' contention heat is scoped to the shard's domain too
+//    (lo/rebalance.hpp HeatScope), so a hot shard sheds its own rotations
+//    without throttling cold shards — ROADMAP 2(c) closed at shard
+//    granularity;
+//  * a private SizePool (when the inner map's Alloc is pool-backed) —
+//    remote-free traffic and slab growth stay shard-local instead of all
+//    shards fighting over the per-type pool_for<T>() singleton's caches.
+//
+// Point ops route directly (router.hpp: striped block partitioning, one
+// shift+mask). The full adapters::OrderedMap surface is preserved:
+// min/max/first_in_range/last_in_range reduce over per-shard answers, and
+// for_each/range/Cursor run a k-way merge over per-shard cursors
+// (merge.hpp), yielding the global ascending order because every key
+// belongs to exactly one shard.
+//
+// Consistency caveat (vs DESIGN.md §11): a single shard's scan is weakly
+// consistent per key. The cross-shard merge holds one cursor — hence one
+// pinned epoch — PER SHARD for the duration of the iteration, and the
+// per-key verdicts of different shards are justified at different
+// instants. Nothing new is promised across shards: like the single-tree
+// scan, a cross-shard scan is not a snapshot. (Keep merges short-lived on
+// update-heavy maps: k epochs stay pinned while one is open.)
+//
+// Teardown contract: like the inner maps, destruction requires quiescence.
+// Per shard, the members are declared pool → domain → map so destruction
+// runs map (returns live nodes) → domain (drains retired nodes through
+// SizePool::route_free, which needs the slab headers alive) → pool.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "reclaim/ebr.hpp"
+#include "reclaim/pool.hpp"
+#include "shard/merge.hpp"
+#include "shard/router.hpp"
+
+namespace lot::shard {
+
+/// `MapT` is any LoCore instantiation (LoMap / PartialMap, AVL or BST);
+/// `Shards` is a power of two. shards=1 is the degenerate case: one inner
+/// map on a private domain/pool, every op a straight pass-through — the
+/// configuration the equivalence tests pin against the unsharded tree.
+template <typename MapT, unsigned Shards = 8>
+class ShardedMap {
+  static_assert(Shards >= 1 && (Shards & (Shards - 1)) == 0,
+                "shard count must be a power of two (router mask)");
+
+ public:
+  using key_type = typename MapT::key_type;
+  using mapped_type = typename MapT::mapped_type;
+  using key_compare = typename MapT::key_compare;
+  using inner_map_type = MapT;
+  using K = key_type;
+  using V = mapped_type;
+
+  /// Forwarded tree traits, so harnesses generic over the LO maps (the
+  /// stress runner, validation) treat a sharded map like its inner tree.
+  static constexpr bool kBalanced = MapT::kBalanced;
+  static constexpr bool kLogicalRemoving = MapT::kLogicalRemoving;
+
+  /// True when the inner map's allocation policy accepts a per-instance
+  /// pool handle (reclaim::PoolNodeAlloc); plain new/delete policies get
+  /// no pool and simply share the heap.
+  static constexpr bool kPooledAlloc =
+      std::is_constructible_v<typename MapT::alloc_type,
+                              reclaim::SizePool&>;
+
+  ShardedMap() : ShardedMap(key_compare()) {}
+
+  explicit ShardedMap(key_compare comp) : comp_(std::move(comp)) {
+    shards_.reserve(Shards);
+    for (unsigned i = 0; i < Shards; ++i) {
+      shards_.push_back(std::make_unique<ShardSlot>(comp_));
+    }
+  }
+
+  ShardedMap(const ShardedMap&) = delete;
+  ShardedMap& operator=(const ShardedMap&) = delete;
+
+  static std::string_view name() {
+    static const std::string n =
+        std::string(MapT::name()) + "-x" + std::to_string(Shards);
+    return n;
+  }
+
+  static constexpr unsigned shard_count() { return Shards; }
+
+  // ------------------------------------------------------------ point ops
+
+  bool insert(const K& k, const V& v) {
+    ShardSlot& s = slot_for(k);
+    note_point(s);
+    return s.map.insert(k, v);
+  }
+
+  bool erase(const K& k) {
+    ShardSlot& s = slot_for(k);
+    note_point(s);
+    return s.map.erase(k);
+  }
+
+  bool contains(const K& k) const {
+    ShardSlot& s = slot_for(k);
+    note_point(s);
+    return s.map.contains(k);
+  }
+
+  std::optional<V> get(const K& k) const {
+    ShardSlot& s = slot_for(k);
+    note_point(s);
+    return s.map.get(k);
+  }
+
+  // ---------------------------------------------------------- ordered API
+
+  std::optional<std::pair<K, V>> min() const {
+    std::optional<std::pair<K, V>> best;
+    for (const auto& s : shards_) {
+      note_ordered(*s);
+      auto m = s->map.min();
+      if (m.has_value() &&
+          (!best.has_value() || comp_(m->first, best->first))) {
+        best = std::move(m);
+      }
+    }
+    return best;
+  }
+
+  std::optional<std::pair<K, V>> max() const {
+    std::optional<std::pair<K, V>> best;
+    for (const auto& s : shards_) {
+      note_ordered(*s);
+      auto m = s->map.max();
+      if (m.has_value() &&
+          (!best.has_value() || comp_(best->first, m->first))) {
+        best = std::move(m);
+      }
+    }
+    return best;
+  }
+
+  std::optional<std::pair<K, V>> first_in_range(const K& lo,
+                                                const K& hi) const {
+    std::optional<std::pair<K, V>> best;
+    for (const auto& s : shards_) {
+      note_ordered(*s);
+      auto m = s->map.first_in_range(lo, hi);
+      if (m.has_value() &&
+          (!best.has_value() || comp_(m->first, best->first))) {
+        best = std::move(m);
+      }
+    }
+    return best;
+  }
+
+  std::optional<std::pair<K, V>> last_in_range(const K& lo,
+                                               const K& hi) const {
+    std::optional<std::pair<K, V>> best;
+    for (const auto& s : shards_) {
+      note_ordered(*s);
+      auto m = s->map.last_in_range(lo, hi);
+      if (m.has_value() &&
+          (!best.has_value() || comp_(best->first, m->first))) {
+        best = std::move(m);
+      }
+    }
+    return best;
+  }
+
+  /// Global ascending iteration: k-way merge over one cursor per shard.
+  template <typename F>
+  void for_each(F&& fn) const {
+    Merge merge = merge_from_start();
+    while (auto kv = merge.next()) fn(kv->first, kv->second);
+  }
+
+  /// Ordered scan over [lo, hi): every shard's cursor enters at its first
+  /// key >= lo (one descent per shard), then the merge walks the global
+  /// order and stops at hi. Same per-key weak consistency as the inner
+  /// map's range — see the header caveat for what the merge does NOT add.
+  template <typename F>
+  void range(const K& lo, const K& hi, F&& fn) const {
+    if (!comp_(lo, hi)) return;
+    // Counted here, at the layer that owns the op: the inner cursors
+    // account their own open descents as kOrderedLocates, so a sharded
+    // scan reads as one kRangeOps plus Shards ordered locates (see the
+    // shifted contains_restarts identity in tests/stress/stress_lo_shards).
+    const auto tc = obs::tls();
+    tc.add(obs::Counter::kRangeOps);
+    std::uint64_t reported = 0;
+    Merge merge = merge_from(lo);
+    while (auto kv = merge.next()) {
+      if (comp_(kv->first, lo)) continue;   // defensive: below the range
+      if (!comp_(kv->first, hi)) break;     // past the range: done
+      fn(kv->first, kv->second);
+      ++reported;
+    }
+    if (reported != 0) tc.add(obs::Counter::kRangeKeysReported, reported);
+  }
+
+  /// Cross-shard ordered cursor. Holds one inner cursor — one pinned
+  /// reclamation epoch — per shard for its whole lifetime.
+  class Cursor {
+   public:
+    std::optional<std::pair<K, V>> next() { return merge_.next(); }
+
+   private:
+    explicit Cursor(KWayMerge<typename MapT::Cursor, K, V, key_compare> m)
+        : merge_(std::move(m)) {}
+    KWayMerge<typename MapT::Cursor, K, V, key_compare> merge_;
+    friend class ShardedMap;
+  };
+
+  Cursor cursor() const { return Cursor(merge_from_start()); }
+
+  // ------------------------------------------------------- conveniences
+
+  std::size_t size_slow() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->map.size_slow();
+    return n;
+  }
+
+  /// Quiescent-only, like the inner maps' (DESIGN.md §13): converge every
+  /// shard's throttle-deferred rotations. Total repairs across shards.
+  std::size_t repair_balance()
+    requires(MapT::kBalanced)
+  {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->map.repair_balance();
+    return n;
+  }
+
+  /// Logical-removing variants: purge every shard's zombies. Total purged.
+  std::size_t purge_all()
+    requires(MapT::kLogicalRemoving)
+  {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->map.purge_all();
+    return n;
+  }
+
+  bool empty() const {
+    for (const auto& s : shards_) {
+      if (!s->map.empty()) return false;
+    }
+    return true;
+  }
+
+  // ------------------------------------------- shard-level introspection
+
+  /// The shard a key routes to (tests: shard-boundary keys).
+  static constexpr std::size_t shard_index_of(const K& k) {
+    return shard_of(k, Shards);
+  }
+
+  reclaim::EbrDomain& shard_domain(std::size_t i) const {
+    return shards_[i]->domain;
+  }
+
+  /// The shard's private pool, or nullptr for non-pooled allocation
+  /// policies (tests: per-shard slab accounting).
+  reclaim::SizePool* shard_pool(std::size_t i) const {
+    return shards_[i]->pool.get();
+  }
+
+  MapT& shard_map(std::size_t i) { return shards_[i]->map; }
+  const MapT& shard_map(std::size_t i) const { return shards_[i]->map; }
+
+  RouterStatsSnapshot shard_stats(std::size_t i) const {
+    const RouterShardStats& st = shards_[i]->stats;
+    RouterStatsSnapshot snap;
+    snap.point_ops = st.point_ops.load(std::memory_order_relaxed);
+    snap.ordered_ops = st.ordered_ops.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+  key_compare key_comp() const { return comp_; }
+
+ private:
+  struct ShardSlot {
+    // Declaration order IS the teardown argument (header comment): map is
+    // destroyed first, domain second (its deleters route slots back
+    // through the pool), pool last.
+    std::unique_ptr<reclaim::SizePool> pool;
+    reclaim::EbrDomain domain;
+    MapT map;
+    RouterShardStats stats;
+
+    explicit ShardSlot(const key_compare& comp)
+        : pool(make_pool()), map(domain, comp, make_alloc(pool.get())) {}
+
+    static std::unique_ptr<reclaim::SizePool> make_pool() {
+      if constexpr (kPooledAlloc) {
+        using NodeT = typename MapT::NodeT;
+        return std::make_unique<reclaim::SizePool>(sizeof(NodeT),
+                                                   alignof(NodeT));
+      } else {
+        return nullptr;
+      }
+    }
+
+    static typename MapT::alloc_type make_alloc(reclaim::SizePool* pool) {
+      if constexpr (kPooledAlloc) {
+        return typename MapT::alloc_type(*pool);
+      } else {
+        (void)pool;
+        return typename MapT::alloc_type();
+      }
+    }
+  };
+
+  using Merge = KWayMerge<typename MapT::Cursor, K, V, key_compare>;
+
+  ShardSlot& slot_for(const K& k) const {
+    return *shards_[shard_of(k, Shards)];
+  }
+
+  Merge merge_from_start() const {
+    std::vector<typename MapT::Cursor> cursors;
+    cursors.reserve(Shards);
+    for (const auto& s : shards_) {
+      note_ordered(*s);
+      cursors.push_back(s->map.cursor());
+    }
+    return Merge(std::move(cursors), comp_);
+  }
+
+  Merge merge_from(const K& lo) const {
+    std::vector<typename MapT::Cursor> cursors;
+    cursors.reserve(Shards);
+    for (const auto& s : shards_) {
+      note_ordered(*s);
+      cursors.push_back(s->map.cursor(lo));
+    }
+    return Merge(std::move(cursors), comp_);
+  }
+
+  static void note_point(ShardSlot& s) {
+    if constexpr (obs::kEnabled) s.stats.note_point();
+  }
+  static void note_ordered(ShardSlot& s) {
+    if constexpr (obs::kEnabled) s.stats.note_ordered();
+  }
+
+  key_compare comp_;
+  // unique_ptr, not ShardSlot by value: slots hold a whole map plus a
+  // cacheline-aligned stats block, and the vector must never relocate a
+  // live domain.
+  std::vector<std::unique_ptr<ShardSlot>> shards_;
+};
+
+}  // namespace lot::shard

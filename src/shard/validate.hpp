@@ -1,0 +1,40 @@
+// Structural validation for ShardedMap: every shard is a complete
+// logical-ordering tree, so validation is the per-shard lo::validate
+// folded into one report (shard-prefixed errors, summed node counts, max
+// height). Same quiescent-point contract as lo/validate.hpp.
+//
+// The overload lives in namespace lot::lo so generic harnesses that call
+// `lo::validate(map, ...)` (tests/stress/stress_common.hpp) pick it up by
+// ordinary overload resolution. Include this header BEFORE such a harness
+// header: qualified dependent calls are looked up at the template's point
+// of definition, not instantiation.
+#pragma once
+
+#include <string>
+
+#include "lo/validate.hpp"
+#include "shard/sharded_map.hpp"
+
+namespace lot::lo {
+
+template <typename MapT, unsigned Shards>
+ValidationReport validate(const shard::ShardedMap<MapT, Shards>& map,
+                          bool check_heights, bool partial = false) {
+  ValidationReport rep;
+  for (unsigned i = 0; i < Shards; ++i) {
+    const ValidationReport r =
+        validate(map.shard_map(i), check_heights, partial);
+    rep.chain_nodes += r.chain_nodes;
+    rep.tree_nodes += r.tree_nodes;
+    if (r.height > rep.height) rep.height = r.height;
+    if (!r.ok) {
+      rep.ok = false;
+      for (const auto& e : r.errors) {
+        rep.fail("shard " + std::to_string(i) + ": " + e);
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace lot::lo

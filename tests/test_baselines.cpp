@@ -10,6 +10,7 @@
 #include <map>
 #include <set>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "adapters/map_concept.hpp"
@@ -20,6 +21,7 @@
 #include "baselines/efrb/efrb.hpp"
 #include "baselines/hj/hj_tree.hpp"
 #include "baselines/skiplist/skiplist.hpp"
+#include "reclaim/ebr.hpp"
 #include "util/random.hpp"
 
 // Whole-suite sanitizer presets (tsan/asan) define LOT_STRESS_DIVISOR > 1
@@ -278,6 +280,34 @@ TYPED_TEST(BaselineTest, SharedKeyspaceMixedStress) {
     ASSERT_LT(keys[i - 1], keys[i]);
   }
   for (K k : keys) EXPECT_TRUE(m.contains(k));
+}
+
+// Every EBR-backed baseline accepts a caller-supplied domain — the same
+// contract the sharding layer (src/shard/) builds on for the LO trees, so
+// baselines can run comparison cells inside private reclamation universes.
+// Churn + teardown on a private domain: retired nodes must drain through
+// it and the ASan/LSan build fails on anything left behind. CoarseMap
+// (mutex + std::map, no deferred reclamation) legitimately has no domain
+// parameter and skips.
+TYPED_TEST(BaselineTest, RunsOnAPrivateEbrDomain) {
+  if constexpr (std::is_constructible_v<TypeParam,
+                                        lot::reclaim::EbrDomain&>) {
+    lot::reclaim::EbrDomain domain;
+    {
+      TypeParam m(domain);
+      for (K k = 0; k < 512; ++k) ASSERT_TRUE(m.insert(k, k));
+      for (K k = 0; k < 512; k += 2) ASSERT_TRUE(m.erase(k));
+      for (K k = 1; k < 512; k += 2) EXPECT_TRUE(m.contains(k));
+      for (K k = 0; k < 512; k += 2) EXPECT_FALSE(m.contains(k));
+      // No assertion on the domain's backlog: eager-removal baselines
+      // retire on erase, but lazy ones (CF's logical deletion) may retire
+      // nothing in this workload. The contract under test is that the map
+      // runs entirely on the caller's domain and tears down clean — the
+      // ASan/LSan stage turns any node that escaped it into a failure.
+    }  // map first, then the domain drains what the map retired
+  } else {
+    GTEST_SKIP() << "baseline performs no deferred reclamation";
+  }
 }
 
 }  // namespace

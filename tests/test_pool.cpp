@@ -234,7 +234,7 @@ TEST(Pool, RecycleWaitsForGracePeriod) {
   EbrDomain domain;
   domain.set_retire_threshold(1);  // reclaim eagerly
 
-  GraceObj* obj = PoolNodeAlloc::create<GraceObj>();
+  GraceObj* obj = PoolNodeAlloc{}.create<GraceObj>();
   void* const addr = obj;
 
   std::mutex m;
