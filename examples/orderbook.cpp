@@ -76,6 +76,29 @@ int main() {
     });
   }
 
+#if !defined(LOT_DISABLE_MVCC)
+  // Risk thread: consistent depth totals via MVCC snapshots (DESIGN.md
+  // §16). The live range() below is per-key weakly consistent — fine for
+  // display, wrong for margin: a volume sum taken while traders move
+  // levels can mix two instants of the book. snapshot() pins one cut, so
+  // each tick's total is the ask side at a single point in time.
+  std::atomic<std::uint64_t> risk_ticks{0};
+  std::thread risk([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = book.asks.snapshot();
+      auto cur = snap.cursor();          // best ask *of the cut*
+      if (const auto touch = cur.next()) {
+        Volume banded = 0;
+        snap.range(touch->first, touch->first + 16,
+                   [&](Price, Volume v) { banded += v; });
+        if (banded >= touch->second) {   // touch level is inside its band
+          risk_ticks.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+#endif
+
   // Trading threads: post and cancel levels on both sides.
   std::vector<std::thread> traders;
   for (int t = 0; t < 3; ++t) {
@@ -105,6 +128,9 @@ int main() {
   for (auto& th : traders) th.join();
   stop = true;
   for (auto& th : md) th.join();
+#if !defined(LOT_DISABLE_MVCC)
+  risk.join();
+#endif
 
   std::printf("order book settled: %zu bid levels, %zu ask levels\n",
               book.bids.size_slow(), book.asks.size_slow());
@@ -117,15 +143,28 @@ int main() {
               static_cast<unsigned long long>(quotes.load()),
               static_cast<unsigned long long>(crossed.load()));
 
-  // Depth snapshot via the ordered/range API: everything within a fixed
-  // band of the touch, one lock-free chain walk per side — no whole-map
-  // iteration, no counting hacks.
+#if !defined(LOT_DISABLE_MVCC)
+  std::printf("risk engine computed %llu consistent depth snapshots\n",
+              static_cast<unsigned long long>(risk_ticks.load()));
+#endif
+
+  // Depth report within a fixed band of the touch. With MVCC on this
+  // goes through a snapshot view — band contents and totals are the book
+  // side at one instant; the LOT_MVCC=OFF build falls back to the live
+  // (weakly consistent) range and prints the same shape.
   constexpr Price kBand = 12;
+#if !defined(LOT_DISABLE_MVCC)
+  const auto ask_side = book.asks.snapshot();
+  const auto bid_side = book.bids.snapshot();
+#else
+  const auto& ask_side = book.asks;
+  const auto& bid_side = book.bids;
+#endif
   if (const auto ba = book.best_ask()) {
     std::printf("ask depth [%lld, %lld):", static_cast<long long>(*ba),
                 static_cast<long long>(*ba + kBand));
     Volume total = 0;
-    book.asks.range(*ba, *ba + kBand, [&](Price p, Volume v) {
+    ask_side.range(*ba, *ba + kBand, [&](Price p, Volume v) {
       total += v;
       std::printf("  %lld x%lld", static_cast<long long>(p),
                   static_cast<long long>(v));
@@ -136,7 +175,7 @@ int main() {
     std::printf("bid depth (%lld, %lld]:", static_cast<long long>(*bb - kBand),
                 static_cast<long long>(*bb));
     Volume total = 0;
-    book.bids.range(*bb - kBand + 1, *bb + 1, [&](Price p, Volume v) {
+    bid_side.range(*bb - kBand + 1, *bb + 1, [&](Price p, Volume v) {
       total += v;
       std::printf("  %lld x%lld", static_cast<long long>(p),
                   static_cast<long long>(v));

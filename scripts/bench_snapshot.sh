@@ -25,6 +25,11 @@
 #                  shards ∈ {1,2,4,8} over the contended update-heavy mix,
 #                  uniform / Zipf(0.99) hot-shard / 10%-scan arms, plus the
 #                  per-shard isolation diagnostic in the stdout log
+#   BENCH_10.json — MVCC snapshot ablation (ablation_mvcc): weak vs
+#                  snapshot vs coarse-rwlock scans over the scan-length
+#                  sweep, plus the on-but-unused point-op rows merged from
+#                  the default build (LOT_MVCC=ON) and build-nomvcc/
+#                  (LOT_MVCC=OFF); impl labels carry the build's state
 #
 # Usage: scripts/bench_snapshot.sh [out.json]
 # The target ablation is picked from the output name; default BENCH_4.json.
@@ -44,6 +49,7 @@ case "$OUT" in
   *BENCH_6*) TARGET=ablation_restart ;;
   *BENCH_7*) TARGET=ablation_storm ;;
   *BENCH_8*) TARGET=ablation_shard ;;
+  *BENCH_10*) TARGET=ablation_mvcc ;;
   *) TARGET=ablation_range ;;
 esac
 
@@ -89,6 +95,20 @@ elif [ "$TARGET" = ablation_shard ]; then
   ./build/bench/ablation_shard \
     --threads="$THREADS" --ranges=20000 \
     --secs="$SECS" --repeats="$REPEATS" --json="$OUT"
+elif [ "$TARGET" = ablation_mvcc ]; then
+  # A/B across build trees (the ablation_obs pattern): the scan-mechanism
+  # sweep only exists in the ON build; the OFF build contributes the
+  # "/mvcc=off" point-op rows for the on-but-unused overhead delta.
+  cmake -B build-nomvcc -S . -DLOT_MVCC=OFF >/dev/null
+  cmake --build build-nomvcc -j "$(nproc)" --target ablation_mvcc >/dev/null
+  ./build/bench/ablation_mvcc \
+    --threads="$THREADS" --ranges=20000 --scanlens=16,64,256 \
+    --secs="$SECS" --repeats="$REPEATS" --json="${OUT}.on.tmp"
+  ./build-nomvcc/bench/ablation_mvcc \
+    --threads="$THREADS" --ranges=20000 --scanlens=16,64,256 \
+    --secs="$SECS" --repeats="$REPEATS" --json="${OUT}.off.tmp"
+  merge_rows "${OUT}.on.tmp" "${OUT}.off.tmp" "$OUT"
+  rm -f "${OUT}.on.tmp" "${OUT}.off.tmp"
 else
   ./build/bench/ablation_range \
     --threads="$THREADS" --ranges=20000 --scanlens=16,64,256 \

@@ -7,19 +7,24 @@
 #   2. the schedule-perturbed linearizability stress: perturbed histories
 #      from the real trees through the offline checker — including the
 #      scan-enabled campaigns (range scans decomposed into per-key
-#      observations) and the restart-audit campaign (the versioned write
-#      path's capture→lock window perturbed, resume/fallback counters
-#      reconciled exactly) — plus the LOT_INJECT_BUG negative controls
-#      (tree-only locate AND the skipped version bump) that must be
-#      *rejected*, plus the LOT_FAULT_INJECT campaign (seeded allocation
-#      failures and guard stalls with per-phase structural validation and
-#      leak accounting);
+#      observations), the snapshot campaign (MVCC snapshot scans recorded
+#      as whole-scan observations and held to single-point atomicity by
+#      check_snapshot_scans) and the restart-audit campaign (the
+#      versioned write path's capture→lock window perturbed,
+#      resume/fallback counters reconciled exactly) — plus the
+#      LOT_INJECT_BUG negative controls (tree-only locate, the skipped
+#      version bump AND the epoch-skipping snapshot resolution) that must
+#      be *rejected*, plus the LOT_FAULT_INJECT campaign (seeded
+#      allocation failures and guard stalls with per-phase structural
+#      validation and leak accounting);
 #   3. the whole-build ThreadSanitizer preset (build-tsan/, iteration
 #      counts scaled down by LOT_STRESS_DIVISOR=20), minus the scan
 #      stress which stage 4 gates explicitly;
 #   4. the scan-enabled linearizability stress under TSan: range walks
-#      racing rotations, relocations and revive-in-place with every
-#      memory access instrumented — the ordered layer's dedicated gate;
+#      AND snapshot scans (the resolver's stamp reads, the revive version
+#      handoff, the limbo prune) racing rotations, relocations and
+#      revive-in-place with every memory access instrumented — the
+#      ordered layer's dedicated gate;
 #   5. the whole-build AddressSanitizer+LeakSanitizer preset (build-asan/),
 #      so heap misuse and leaks gate alongside the race and
 #      linearizability checks;
@@ -50,7 +55,13 @@
 #      under TSan (router + k-way merge + per-shard EBR domains, every
 #      access instrumented) plus the shards=1 degenerate-equivalence
 #      tests from the default build — the scale-out layer must be both
-#      race-free at 4 shards and provably free at 1.
+#      race-free at 4 shards and provably free at 1;
+#  12. the LOT_MVCC=OFF build (build-nomvcc/): the non-stress suite with
+#      the version layer compiled out (the ordered-api static_asserts
+#      prove the MVCC types collapse to empty and snapshot() vanishes
+#      from the map surface) plus the weak-scan stress arm — the scan
+#      campaign rerun against unversioned trees, holding the degraded
+#      scans to exactly the per-key §11 contract.
 #
 # A non-linearizable history makes the stress tests dump the complete
 # trace + violation witness to $LOT_HISTORY_DUMP; this script pins that
@@ -61,8 +72,8 @@ cd "$(dirname "$0")/.."
 export LOT_HISTORY_DUMP="${LOT_HISTORY_DUMP:-$PWD/history.txt}"
 rm -f "$LOT_HISTORY_DUMP"
 
-STRESS_RE='LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|LoFaultStress|LoStormStress|LoShardStress|DriverCapture'
-SCAN_RE='LoScanStress|RecordedScanTrial'
+STRESS_RE='LoLinearizabilityStress|LoScanStress|LoSnapshotStress|TornSnapshot|LoResumeStress|SeededBug|LoFaultStress|LoStormStress|LoShardStress|DriverCapture'
+SCAN_RE='LoScanStress|LoSnapshotStress|RecordedScanTrial'
 
 fail() {
   echo "check.sh: FAILED at stage: $1" >&2
@@ -74,34 +85,38 @@ fail() {
   exit 1
 }
 
-echo "== stage 1/11: tier-1 build + test =="
+echo "== stage 1/12: tier-1 build + test =="
 cmake -B build -S . >/dev/null || fail "configure"
 cmake --build build -j "$(nproc)" >/dev/null || fail "build"
 (cd build && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "tier-1 ctest"
 
-echo "== stage 2/11: perturbed linearizability + fault-injection stress =="
+echo "== stage 2/12: perturbed linearizability + fault-injection stress =="
 (cd build && ctest --output-on-failure -R "$STRESS_RE") \
   || fail "stress + checker"
 
-echo "== stage 3/11: ThreadSanitizer preset =="
+echo "== stage 3/12: ThreadSanitizer preset =="
 cmake --preset tsan >/dev/null || fail "tsan configure"
 cmake --build --preset tsan -j "$(nproc)" >/dev/null || fail "tsan build"
 # The explicit -E overrides the preset's own exclude filter, so it must
-# re-state the SeededBug exclusion alongside the scan, storm and shard
-# stress deferrals (stages 4, 9 and 11 gate those explicitly).
-ctest --preset tsan -E "SeededBug|$SCAN_RE|LoStormStress|LoShardStress" \
+# re-state the SeededBug exclusion (a result-level negative control)
+# alongside the scan, torn-snapshot, storm and shard stress deferrals
+# (stages 4, 9 and 11 gate those explicitly).
+ctest --preset tsan \
+  -E "SeededBug|TornSnapshot|$SCAN_RE|LoStormStress|LoShardStress" \
   || fail "tsan ctest"
 
-echo "== stage 4/11: scan-enabled linearizability stress under TSan =="
-ctest --preset tsan -R "$SCAN_RE" || fail "tsan scan stress"
+echo "== stage 4/12: scan-enabled linearizability stress under TSan =="
+# TornSnapshot rides along: the negative control's rejection must also
+# hold with every access instrumented and iteration counts scaled down.
+ctest --preset tsan -R "$SCAN_RE|TornSnapshot" || fail "tsan scan stress"
 
-echo "== stage 5/11: AddressSanitizer+LeakSanitizer preset =="
+echo "== stage 5/12: AddressSanitizer+LeakSanitizer preset =="
 cmake --preset asan >/dev/null || fail "asan configure"
 cmake --build --preset asan -j "$(nproc)" >/dev/null || fail "asan build"
 ctest --preset asan || fail "asan ctest"
 
-echo "== stage 6/11: LOT_POOL_ALLOC=OFF build + test =="
+echo "== stage 6/12: LOT_POOL_ALLOC=OFF build + test =="
 cmake -B build-nopool -S . -DLOT_POOL_ALLOC=OFF >/dev/null \
   || fail "nopool configure"
 cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
@@ -109,14 +124,14 @@ cmake --build build-nopool -j "$(nproc)" >/dev/null || fail "nopool build"
   -E 'LoLinearizabilityStress|LoScanStress|LoResumeStress|SeededBug|DriverCapture') \
   || fail "nopool ctest (incl. fault campaign)"
 
-echo "== stage 7/11: LOT_OBS=OFF build + test =="
+echo "== stage 7/12: LOT_OBS=OFF build + test =="
 cmake -B build-noobs -S . -DLOT_OBS=OFF >/dev/null \
   || fail "noobs configure"
 cmake --build build-noobs -j "$(nproc)" >/dev/null || fail "noobs build"
 (cd build-noobs && ctest --output-on-failure -j "$(nproc)" -E "$STRESS_RE") \
   || fail "noobs ctest"
 
-echo "== stage 8/11: LOT_REBALANCE_THROTTLE=OFF build + test =="
+echo "== stage 8/12: LOT_REBALANCE_THROTTLE=OFF build + test =="
 cmake -B build-nothrottle -S . -DLOT_REBALANCE_THROTTLE=OFF >/dev/null \
   || fail "nothrottle configure"
 cmake --build build-nothrottle -j "$(nproc)" >/dev/null \
@@ -124,10 +139,10 @@ cmake --build build-nothrottle -j "$(nproc)" >/dev/null \
 (cd build-nothrottle && ctest --output-on-failure -j "$(nproc)" \
   -E "$STRESS_RE") || fail "nothrottle ctest"
 
-echo "== stage 9/11: chaos storm campaign under TSan =="
+echo "== stage 9/12: chaos storm campaign under TSan =="
 ctest --preset tsan -R 'LoStormStress' || fail "tsan storm campaign"
 
-echo "== stage 10/11: LOT_HEALTH=OFF build + test =="
+echo "== stage 10/12: LOT_HEALTH=OFF build + test =="
 cmake -B build-nohealth -S . -DLOT_HEALTH=OFF >/dev/null \
   || fail "nohealth configure"
 cmake --build build-nohealth -j "$(nproc)" >/dev/null \
@@ -140,12 +155,28 @@ cmake --build build-nohealth -j "$(nproc)" >/dev/null \
 (cd build-nohealth && ctest --output-on-failure -R 'LoStormStress') \
   || fail "nohealth storm survival"
 
-echo "== stage 11/11: sharded-layer gate (TSan campaign + degenerate equivalence) =="
+echo "== stage 11/12: sharded-layer gate (TSan campaign + degenerate equivalence) =="
 ctest --preset tsan -R 'LoShardStress' || fail "tsan sharded stress"
 # shards=1 must be indistinguishable from the bare tree on the same op
 # tape (default build; these also ran inside stage 1's tier-1 sweep — the
 # explicit re-run makes the acceptance criterion a named gate).
 (cd build && ctest --output-on-failure -R 'SingleShardEquivalence') \
   || fail "shards=1 degenerate equivalence"
+
+echo "== stage 12/12: LOT_MVCC=OFF build + test =="
+cmake -B build-nomvcc -S . -DLOT_MVCC=OFF >/dev/null \
+  || fail "nomvcc configure"
+cmake --build build-nomvcc -j "$(nproc)" >/dev/null || fail "nomvcc build"
+# Non-stress suite with the version layer compiled out: the ordered-api
+# static_asserts prove EpochSource/SnapshotRegistry/LimboList collapse to
+# empty types and snapshot() is genuinely absent from the map surface.
+(cd build-nomvcc && ctest --output-on-failure -j "$(nproc)" \
+  -E "$STRESS_RE") || fail "nomvcc ctest"
+# The weak-scan stress arm: the scan campaign rerun against the
+# unversioned trees (the snapshot campaign itself is not built here —
+# scans degrade to the per-key-linearizable §11 contract, and the
+# history checker holds them to exactly that).
+(cd build-nomvcc && ctest --output-on-failure -R 'LoScanStress') \
+  || fail "nomvcc weak-scan stress"
 
 echo "check.sh: all stages passed"

@@ -31,7 +31,12 @@
 
 namespace lot::check {
 
-enum class Op : std::uint8_t { kInsert = 0, kRemove = 1, kContains = 2 };
+enum class Op : std::uint8_t {
+  kInsert = 0,
+  kRemove = 1,
+  kContains = 2,
+  kScan = 3,  // whole-scan observation (SnapshotScan); never in Event logs
+};
 
 inline const char* op_name(Op op) {
   switch (op) {
@@ -39,6 +44,8 @@ inline const char* op_name(Op op) {
       return "insert";
     case Op::kRemove:
       return "remove";
+    case Op::kScan:
+      return "scan";
     default:
       return "contains";
   }
@@ -54,6 +61,22 @@ struct Event {
   std::uint16_t thread = 0;
 };
 
+/// One whole-scan observation: every key of [lo, hi) the scan reported,
+/// ascending. Unlike record_scan's per-key decomposition (each verdict
+/// justified independently somewhere in the window), the entire vector
+/// must be explainable by the map's state at a SINGLE point within
+/// [invoke, response] — the atomicity contract of SnapshotView scans,
+/// checked by check::check_snapshot_scans.
+template <typename K>
+struct SnapshotScan {
+  std::uint64_t invoke = 0;
+  std::uint64_t response = 0;
+  K lo{};
+  K hi{};
+  std::vector<K> present;  // reported keys, strictly ascending
+  std::uint16_t thread = 0;
+};
+
 template <typename K>
 class HistoryRecorder {
  public:
@@ -61,6 +84,7 @@ class HistoryRecorder {
   struct alignas(sync::kCacheLineSize) ThreadLog {
     std::vector<Event<K>> events;  // size() < capacity(); never reallocates
     std::vector<K> scan_scratch;   // record_scan's key buffer, reused
+    std::vector<SnapshotScan<K>> scans;  // size() < capacity()
     bool overflow = false;
 
     void push(const Event<K>& e) {
@@ -74,7 +98,10 @@ class HistoryRecorder {
 
   HistoryRecorder(unsigned threads, std::size_t capacity_per_thread)
       : logs_(threads) {
-    for (auto& log : logs_) log.events.reserve(capacity_per_thread);
+    for (auto& log : logs_) {
+      log.events.reserve(capacity_per_thread);
+      log.scans.reserve(capacity_per_thread);
+    }
   }
 
   unsigned threads() const { return static_cast<unsigned>(logs_.size()); }
@@ -141,6 +168,33 @@ class HistoryRecorder {
     }
   }
 
+  /// Runs a *snapshot* scan as thread `tid`'s next operation and records
+  /// it as one whole-scan observation (see SnapshotScan). `scan_fn(lo,
+  /// hi, sink)` must take the snapshot AND scan it, calling sink(key,
+  /// value) ascending — the window then covers the cut adoption, so a
+  /// single feasible point always exists if the view is honest. Unlike
+  /// record(), the observation vector allocates; snapshot scans
+  /// materialize their cut anyway, so the recording cost disappears into
+  /// the operation's own.
+  template <typename ScanFn>
+  void record_snapshot_scan(unsigned tid, const K& lo, const K& hi,
+                            ScanFn&& scan_fn) {
+    auto& log = logs_[tid];
+    SnapshotScan<K> scan;
+    scan.lo = lo;
+    scan.hi = hi;
+    scan.thread = static_cast<std::uint16_t>(tid);
+    scan.invoke = tick();
+    scan_fn(lo, hi,
+            [&scan](const K& k, const auto&) { scan.present.push_back(k); });
+    scan.response = tick();
+    if (log.scans.size() == log.scans.capacity()) {
+      log.overflow = true;
+      return;
+    }
+    log.scans.push_back(std::move(scan));
+  }
+
   bool overflowed() const {
     for (const auto& log : logs_) {
       if (log.overflow) return true;
@@ -164,6 +218,20 @@ class HistoryRecorder {
     }
     std::sort(all.begin(), all.end(),
               [](const Event<K>& a, const Event<K>& b) {
+                return a.invoke < b.invoke;
+              });
+    return all;
+  }
+
+  /// All recorded snapshot scans, sorted by invocation stamp. Call only
+  /// after every recording thread has joined.
+  std::vector<SnapshotScan<K>> merged_scans() const {
+    std::vector<SnapshotScan<K>> all;
+    for (const auto& log : logs_) {
+      all.insert(all.end(), log.scans.begin(), log.scans.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const SnapshotScan<K>& a, const SnapshotScan<K>& b) {
                 return a.invoke < b.invoke;
               });
     return all;

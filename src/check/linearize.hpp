@@ -54,6 +54,7 @@ struct CheckStats {
   std::size_t overlap_blocks = 0;     // blocks that needed the WGL search
   std::size_t max_block = 0;          // largest overlapping block
   std::size_t configs_explored = 0;   // WGL configurations expanded
+  std::size_t scans = 0;              // whole-scan observations checked
 };
 
 template <typename K>
@@ -196,6 +197,102 @@ StateSet wgl_block(const std::vector<const Event<K>*>& block, bool init,
   return finals;
 }
 
+/// One segment of a key's state timeline: from stamp `from` (inclusive)
+/// until the next segment starts, the membership bit can be any state in
+/// `states`. Built by state_timeline below.
+struct StateSegment {
+  std::uint64_t from;
+  StateSet states;
+};
+
+/// Certain-state timeline of one key from its *successful* write events
+/// (invoke-sorted). Between write blocks the state is pinned by the block
+/// outcomes; inside a block (a write's [invoke, response] window, chained
+/// over overlaps) the linearization point is unresolved, so both states
+/// are feasible. Overlapping blocks settle to the WGL-reachable end-state
+/// set — sound: a state is excluded only when no linearization reaches
+/// it. Returns false if the writes themselves admit no linearization
+/// (the set checker reports that case with a proper witness).
+template <typename K>
+bool state_timeline(const std::vector<const Event<K>*>& writes, bool init,
+                    std::vector<StateSegment>& out, std::size_t& configs,
+                    std::size_t budget, bool& aborted) {
+  out.clear();
+  StateSet states = state_bit(init);
+  out.push_back(StateSegment{0, states});
+  std::size_t i = 0;
+  while (i < writes.size()) {
+    std::uint64_t max_resp = writes[i]->response;
+    std::size_t j = i + 1;
+    while (j < writes.size() && writes[j]->invoke < max_resp) {
+      if (writes[j]->response > max_resp) max_resp = writes[j]->response;
+      ++j;
+    }
+    StateSet next = 0;
+    if (j - i == 1) {
+      for (bool s : {false, true}) {
+        if ((states & state_bit(s)) == 0) continue;
+        bool out_state = s;
+        if (apply_op(writes[i]->op, writes[i]->result, out_state)) {
+          next |= state_bit(out_state);
+        }
+      }
+    } else {
+      std::vector<const Event<K>*> block(writes.begin() + i,
+                                         writes.begin() + j);
+      for (bool s : {false, true}) {
+        if ((states & state_bit(s)) == 0) continue;
+        next |= wgl_block<K>(block, s, configs, budget, aborted);
+      }
+      if (aborted) return false;
+    }
+    if (next == 0) return false;
+    out.push_back(StateSegment{writes[i]->invoke, 3u});
+    out.push_back(StateSegment{max_resp + 1, next});
+    states = next;
+    i = j;
+  }
+  return true;
+}
+
+/// Intersects the sorted disjoint interval set `acc` (closed intervals)
+/// with the stamps in [t0, t1] where `timeline` allows state `want`.
+/// Keys never written keep their single initial segment; the loop then
+/// yields the whole window or nothing.
+inline void intersect_feasible(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& acc,
+    const std::vector<StateSegment>& timeline, bool want, std::uint64_t t0,
+    std::uint64_t t1) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> allowed;
+  for (std::size_t s = 0; s < timeline.size(); ++s) {
+    if ((timeline[s].states & state_bit(want)) == 0) continue;
+    const std::uint64_t from = std::max(timeline[s].from, t0);
+    const std::uint64_t to =
+        s + 1 < timeline.size()
+            ? std::min(timeline[s + 1].from - 1, t1)
+            : t1;
+    if (from > to) continue;
+    if (!allowed.empty() && allowed.back().second + 1 >= from) {
+      allowed.back().second = std::max(allowed.back().second, to);
+    } else {
+      allowed.emplace_back(from, to);
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> next;
+  std::size_t a = 0, b = 0;
+  while (a < acc.size() && b < allowed.size()) {
+    const std::uint64_t from = std::max(acc[a].first, allowed[b].first);
+    const std::uint64_t to = std::min(acc[a].second, allowed[b].second);
+    if (from <= to) next.emplace_back(from, to);
+    if (acc[a].second < allowed[b].second) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  acc = std::move(next);
+}
+
 }  // namespace detail_check
 
 /// Renders a history (or a violation witness) for the history.txt artifact.
@@ -293,6 +390,114 @@ CheckResult<K> check_set_history(std::vector<Event<K>> events,
       }
       states = next;
       i = j;
+    }
+  }
+  return res;
+}
+
+/// Checks whole-scan atomicity: every snapshot scan's complete
+/// observation vector must be explainable by the map's state at a SINGLE
+/// stamp within the scan's [invoke, response] window — the SnapshotView
+/// contract, strictly stronger than the per-key decomposition
+/// record_scan feeds into check_set_history.
+///
+/// Method: each key's membership over time is pinned down from the
+/// *successful* writes in `events` (detail_check::state_timeline): known
+/// exactly between write windows, unresolved (either state) inside them.
+/// A scan observation of key k narrows the scan's feasible-point set to
+/// the stamps where k's state can match what the scan reported; the
+/// verdict intersects those sets over every key of [lo, hi). An empty
+/// intersection is a torn scan: each per-key verdict may be individually
+/// justifiable somewhere in the window, but no single instant explains
+/// them all, so no linearization of the history contains this scan.
+/// Sound by construction — a stamp is excluded only when some key's
+/// reported state is impossible there under every linearization of the
+/// writes — so a kNonLinearizable verdict is a real violation, never a
+/// false alarm. `events` need not be sorted; contains events and failed
+/// writes are ignored (they never move state).
+template <typename K>
+CheckResult<K> check_snapshot_scans(
+    const std::vector<Event<K>>& events,
+    const std::vector<SnapshotScan<K>>& scans,
+    std::vector<K> initially_present = {},
+    std::size_t config_budget = 50'000'000) {
+  static_assert(std::is_integral_v<K>,
+                "scan feasibility enumerates every key in [lo, hi)");
+  CheckResult<K> res;
+  res.stats.events = events.size();
+  res.stats.scans = scans.size();
+  std::sort(initially_present.begin(), initially_present.end());
+
+  // Per-key successful-write projections, invoke-sorted.
+  std::map<K, std::vector<const Event<K>*>> writes;
+  for (const auto& e : events) {
+    if (e.op == Op::kContains || !e.result) continue;
+    writes[e.key].push_back(&e);
+  }
+  for (auto& [key, evs] : writes) {
+    std::sort(evs.begin(), evs.end(),
+              [](const Event<K>* a, const Event<K>* b) {
+                return a->invoke < b->invoke;
+              });
+  }
+  res.stats.keys = writes.size();
+
+  // Timelines are built lazily and cached: scans usually revisit keys.
+  std::map<K, std::vector<detail_check::StateSegment>> timelines;
+  const std::vector<const Event<K>*> no_writes;
+
+  for (const auto& scan : scans) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> feasible{
+        {scan.invoke, scan.response}};
+    for (K k = scan.lo; k < scan.hi; ++k) {
+      auto cached = timelines.find(k);
+      if (cached == timelines.end()) {
+        const auto w = writes.find(k);
+        const bool init = std::binary_search(initially_present.begin(),
+                                             initially_present.end(), k);
+        bool aborted = false;
+        std::vector<detail_check::StateSegment> tl;
+        if (!detail_check::state_timeline<K>(
+                w != writes.end() ? w->second : no_writes, init, tl,
+                res.stats.configs_explored, config_budget, aborted)) {
+          res.key = k;
+          if (aborted) {
+            res.verdict = Verdict::kAborted;
+            res.reason = "timeline search budget exhausted on key " +
+                         detail_check::key_to_string(k);
+          } else {
+            res.verdict = Verdict::kNonLinearizable;
+            res.reason = "write history for key " +
+                         detail_check::key_to_string(k) +
+                         " admits no linearization (run check_set_history "
+                         "for the witness)";
+          }
+          return res;
+        }
+        cached = timelines.emplace(k, std::move(tl)).first;
+      }
+      const bool want = std::binary_search(scan.present.begin(),
+                                           scan.present.end(), k);
+      detail_check::intersect_feasible(feasible, cached->second, want,
+                                       scan.invoke, scan.response);
+      if (feasible.empty()) {
+        res.verdict = Verdict::kNonLinearizable;
+        res.key = k;
+        std::ostringstream os;
+        os << "torn snapshot scan: t" << scan.thread << " scan(["
+           << detail_check::key_to_string(scan.lo) << ","
+           << detail_check::key_to_string(scan.hi) << ")) over stamps ["
+           << scan.invoke << "," << scan.response << "] reported "
+           << scan.present.size() << " key(s), but no single stamp in the "
+           << "window explains the whole vector; first infeasible key "
+           << detail_check::key_to_string(k) << " (reported "
+           << (want ? "present" : "absent") << ")";
+        res.reason = os.str();
+        if (const auto w = writes.find(k); w != writes.end()) {
+          for (const Event<K>* e : w->second) res.witness.push_back(*e);
+        }
+        return res;
+      }
     }
   }
   return res;

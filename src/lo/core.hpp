@@ -89,6 +89,7 @@
 #include "health/governor.hpp"
 #include "inject/inject.hpp"
 #include "lo/detail.hpp"
+#include "lo/mvcc.hpp"
 #include "lo/node.hpp"
 #include "lo/rebalance.hpp"
 #include "obs/counters.hpp"
@@ -183,13 +184,20 @@ class LoCore {
 
   ~LoCore() {
     // At destruction no operations are in flight; every live node is on
-    // the ordering chain (removed nodes were retired to the domain).
+    // the ordering chain (removed nodes were retired to the domain), plus
+    // whatever the limbo list still parks for snapshots that no longer
+    // exist. Version chains are owned by their node and die with it.
     NodeT* node = neg_;
     while (node != nullptr) {
       NodeT* next = node->succ.load(std::memory_order_relaxed);
+      mvcc_destroy_versions(node);
       Alloc::template destroy<NodeT>(node);
       node = next;
     }
+    limbo_.prune(mvcc::kNoSnapshot, [this](NodeT* n) {
+      mvcc_destroy_versions(n);
+      Alloc::template destroy<NodeT>(n);
+    });
   }
 
   LoCore(const LoCore&) = delete;
@@ -455,6 +463,241 @@ class LoCore {
   /// cross-shard range merge uses to enter each shard at the range start.
   Cursor cursor(const K& lo) const { return Cursor(*this, lo); }
 
+#if !defined(LOT_DISABLE_MVCC)
+  /// An epoch-pinned consistent read view (DESIGN.md §16): every read
+  /// through the view resolves against the single cut E adopted at
+  /// snapshot() time — the whole scan linearizes at one point, unlike
+  /// the live range()'s per-key weak consistency. The view pins a
+  /// reclamation epoch and holds a registry slot for its lifetime (both
+  /// block retirement behind it), so keep views short-lived on
+  /// update-heavy maps, like cursors.
+  class SnapshotView {
+   public:
+    SnapshotView(SnapshotView&& o) noexcept
+        : guard_(std::move(o.guard_)),
+          map_(o.map_),
+          token_(o.token_),
+          epoch_(o.epoch_),
+          view_reads_(o.view_reads_) {
+      o.map_ = nullptr;
+    }
+    SnapshotView(const SnapshotView&) = delete;
+    SnapshotView& operator=(const SnapshotView&) = delete;
+    SnapshotView& operator=(SnapshotView&&) = delete;
+    ~SnapshotView() { release(); }
+
+    /// The cut: every read reports the map as of this epoch.
+    std::uint64_t epoch() const { return epoch_; }
+
+    bool contains(const K& k) const {
+      const auto tc = obs::tls();
+      tc.add(obs::Counter::kContainsOps);
+      const bool hit = lookup(k, tc).has_value();
+      if (hit) tc.add(obs::Counter::kContainsHits);
+      return hit;
+    }
+
+    std::optional<V> get(const K& k) const {
+      const auto tc = obs::tls();
+      tc.add(obs::Counter::kGetOps);
+      return lookup(k, tc);
+    }
+
+    /// Ordered scan of [lo, hi) as of the cut — the atomic counterpart
+    /// of the live range().
+    template <typename F>
+    void range(const K& lo, const K& hi, F&& fn) const {
+      if (map_ == nullptr || !map_->comp_(lo, hi)) return;
+      const auto tc = obs::tls();
+      tc.add(obs::Counter::kRangeOps);
+      const auto kvs = collect(&lo, &hi, tc);
+      if (!kvs.empty()) {
+        tc.add(obs::Counter::kRangeKeysReported, kvs.size());
+      }
+      for (const auto& kv : kvs) fn(kv.first, kv.second);
+    }
+
+    /// Full ordered iteration as of the cut.
+    template <typename F>
+    void for_each(F&& fn) const {
+      if (map_ == nullptr) return;
+      const auto kvs = collect(nullptr, nullptr, obs::tls());
+      for (const auto& kv : kvs) fn(kv.first, kv.second);
+    }
+
+    /// Cursor over the cut. Materialized eagerly: limbo entries can
+    /// appear mid-iteration, so a lazy chain walk could not fold them in
+    /// at the right positions; the snapshot is immutable anyway.
+    class Cursor {
+     public:
+      std::optional<std::pair<K, V>> next() {
+        if (index_ >= kvs_.size()) return std::nullopt;
+        return kvs_[index_++];
+      }
+
+     private:
+      explicit Cursor(std::vector<std::pair<K, V>> kvs)
+          : kvs_(std::move(kvs)) {}
+      std::vector<std::pair<K, V>> kvs_;
+      std::size_t index_ = 0;
+      friend class SnapshotView;
+    };
+
+    Cursor cursor() const {
+      if (map_ == nullptr) return Cursor({});
+      return Cursor(collect(nullptr, nullptr, obs::tls()));
+    }
+
+    /// Positioned start, mirroring the live cursor(lo): the descent is
+    /// paid for with an ordered-locate count, same as there.
+    Cursor cursor(const K& lo) const {
+      if (map_ == nullptr) return Cursor({});
+      const auto tc = obs::tls();
+      tc.add(obs::Counter::kOrderedLocates);
+      return Cursor(collect(&lo, nullptr, tc));
+    }
+
+    /// Drops the registry slot and the reclamation pin early (the
+    /// destructor calls this too) and prunes limbo entries the departure
+    /// may have freed up. Reads after release() return empty.
+    void release() {
+      if (map_ == nullptr) return;
+      const LoCore* m = map_;
+      map_ = nullptr;
+      m->snap_reg_.release(token_);
+      guard_.reset();
+      m->mvcc_prune_limbo();
+    }
+
+   private:
+    SnapshotView(const LoCore& m, std::uint64_t token, std::uint64_t e)
+        : guard_(m.domain_->guard()), map_(&m), token_(token), epoch_(e) {}
+
+    /// Point read against the cut: resolve the chain node for k, then
+    /// fall back to limbo — a node unlinked after the cut was parked
+    /// before it left the chain, so the two probes cannot both miss.
+    std::optional<V> lookup(const K& k, obs::Tls tc) const {
+      if (map_ == nullptr) return std::nullopt;
+      std::optional<V> out;
+      const NodeT* node = map_->locate(k, tc);
+      if (map_->cmp(node, k) == 0 && node->tag == Tag::kNormal) {
+        out = map_->mvcc_resolve(node, epoch_, &view_reads_, tc);
+      }
+      if (!out.has_value()) {
+        map_->limbo_.for_each([&](NodeT* n, std::uint64_t death) {
+          if (out.has_value() || death <= epoch_) return;
+          if (map_->cmp(n, k) == 0) {
+            out = map_->mvcc_resolve(n, epoch_, &view_reads_, tc);
+          }
+        });
+      }
+      return out;
+    }
+
+    /// Materializes the cut over [lo, hi) (null = unbounded): resolve
+    /// every in-range chain node, then fold in limbo — nodes spliced out
+    /// mid-walk were parked first (erase parks *before* the splice), so
+    /// the union cannot miss a key the cut contains. A key can surface
+    /// from both probes (resolved on-chain, then spliced and parked
+    /// before the limbo pass); at most one incarnation per key covers
+    /// any epoch, so the duplicate is value-identical and unique() after
+    /// the merge drops it.
+    std::vector<std::pair<K, V>> collect(const K* lo, const K* hi,
+                                         obs::Tls tc) const {
+      std::vector<std::pair<K, V>> out;
+      const NodeT* node = lo != nullptr
+                              ? map_->locate(*lo, tc)
+                              : map_->neg_->succ.load(std::memory_order_acquire);
+      while (node != map_->pos_ &&
+             (node->tag == Tag::kNegInf || hi == nullptr ||
+              map_->comp_(node->key, *hi))) {
+        check::perturb_point(check::PerturbPoint::kRangeStep);
+        if (node->tag == Tag::kNormal &&
+            (lo == nullptr || !map_->comp_(node->key, *lo))) {
+          const auto v = map_->mvcc_resolve(node, epoch_, &view_reads_, tc);
+          if (v.has_value()) out.emplace_back(node->key, *v);
+        }
+        node = node->succ.load(std::memory_order_acquire);
+      }
+      std::vector<std::pair<K, V>> parked;
+      map_->limbo_.for_each([&](NodeT* n, std::uint64_t death) {
+        if (death <= epoch_) return;  // absent at the cut; skip cheaply
+        if (n->tag != Tag::kNormal) return;
+        if (lo != nullptr && map_->comp_(n->key, *lo)) return;
+        if (hi != nullptr && !map_->comp_(n->key, *hi)) return;
+        const auto v = map_->mvcc_resolve(n, epoch_, &view_reads_, tc);
+        if (v.has_value()) parked.emplace_back(n->key, *v);
+      });
+      if (!parked.empty()) {
+        const auto less = [this](const std::pair<K, V>& a,
+                                 const std::pair<K, V>& b) {
+          return map_->comp_(a.first, b.first);
+        };
+        std::sort(parked.begin(), parked.end(), less);
+        const auto mid = static_cast<std::ptrdiff_t>(out.size());
+        out.insert(out.end(), parked.begin(), parked.end());
+        std::inplace_merge(out.begin(), out.begin() + mid, out.end(), less);
+        out.erase(std::unique(out.begin(), out.end(),
+                              [this](const std::pair<K, V>& a,
+                                     const std::pair<K, V>& b) {
+                                return !map_->comp_(a.first, b.first) &&
+                                       !map_->comp_(b.first, a.first);
+                              }),
+                  out.end());
+      }
+      return out;
+    }
+
+    std::optional<reclaim::EbrDomain::Guard> guard_;
+    const LoCore* map_;
+    std::uint64_t token_;
+    std::uint64_t epoch_;
+    /// Per-view resolution counter feeding the LOT_INJECT_BUG==3 arm
+    /// (mvcc_resolve); dead weight otherwise.
+    mutable std::uint64_t view_reads_ = 0;
+    friend class LoCore;
+  };
+
+  /// Takes a consistent snapshot of the map: registers with the snapshot
+  /// registry *first* (so writers' limbo decisions already see the
+  /// reservation), then adopts the cut E. The fence pairs with the one
+  /// in mvcc_stamp_fresh: a publication this snapshot missed stamps
+  /// strictly after E (mvcc.hpp, ordering argument).
+  SnapshotView snapshot() const {
+    obs::count(obs::Counter::kSnapshotAcquires);
+    const std::uint64_t token = snap_reg_.reserve(epoch_src());
+    const std::uint64_t e = epoch_src().now();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return SnapshotView(*this, token, e);
+  }
+
+  /// Two-phase snapshot for multi-shard composition (shard/sharded_map
+  /// .hpp): every shard reserves first, then ONE cut E is drawn from the
+  /// shared epoch source and adopted by all — per-shard views over the
+  /// same E form a single consistent cut of the whole sharded map.
+  /// Requires use_epoch_source() to have bound the shards together.
+  std::uint64_t snapshot_reserve() const {
+    return snap_reg_.reserve(epoch_src());
+  }
+
+  SnapshotView snapshot_adopt(std::uint64_t token, std::uint64_t e) const {
+    obs::count(obs::Counter::kSnapshotAcquires);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return SnapshotView(*this, token, e);
+  }
+
+  /// Rebinds this map's epoch clock to a shared source — how ShardedMap
+  /// makes per-shard snapshots compose. Call before any write or
+  /// snapshot touches the map.
+  void use_epoch_source(mvcc::EpochSource& src) { epoch_src_ = &src; }
+  mvcc::EpochSource& epoch_source() const { return *epoch_src_; }
+
+  std::size_t debug_limbo_size() const { return limbo_.size(); }
+  std::size_t debug_active_snapshots() const {
+    return snap_reg_.active_count();
+  }
+#endif  // !LOT_DISABLE_MVCC
+
   /// O(n) size via the ordering chain; exact at quiescence.
   std::size_t size_slow() const {
     std::size_t n = 0;
@@ -507,6 +750,12 @@ class LoCore {
     inject::stall_point(inject::Site::kGuardStallWriter);
     const auto tc = obs::tls();
     NodeT* nn = nullptr;
+    // Revive folds the zombie's outgoing incarnation into a PastVersion
+    // record (DESIGN.md §16). Like the node itself, the record must be
+    // allocated with no locks held (the pool's create throws under fault
+    // injection), so the retry loop below pre-allocates one the moment a
+    // revive looks likely and the locked revive stays allocation-free.
+    mvcc::PastVersion<V>* vspare = nullptr;
     if constexpr (!kLogicalRemoving) {
       // Allocate before any lock acquisition or retry, so a throw leaves
       // the map untouched with no locks held.
@@ -540,8 +789,24 @@ class LoCore {
               // The throw abandons the descents already counted with no
               // insert op to pay for the last one; one restart count
               // keeps the descent audit balanced (DESIGN.md §12).
+              mvcc_free_spare(vspare);
               tc.add(obs::Counter::kInsertRestarts);
               throw;
+            }
+          }
+          if constexpr (mvcc::kEnabled) {
+            if (vspare == nullptr && cmp(s_cap, k) == 0 &&
+                s_cap->deleted.load(std::memory_order_acquire)) {
+              // The capture says "zombie": the revive under the lock will
+              // need a past-incarnation record. Same unwind accounting as
+              // the lazy node allocation above on a throw.
+              try {
+                vspare = alloc_.template create<mvcc::PastVersion<V>>();
+              } catch (...) {
+                if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
+                tc.add(obs::Counter::kInsertRestarts);
+                throw;
+              }
             }
           }
         }
@@ -567,10 +832,33 @@ class LoCore {
             // Physically present.
             if constexpr (kLogicalRemoving) {
               if (s->deleted.load(std::memory_order_acquire)) {
+                if constexpr (mvcc::kEnabled) {
+                  if (vspare == nullptr) {
+                    // The capture missed the zombie (it was absent, or
+                    // live, at capture time), so no record was
+                    // pre-allocated. Never allocate under the interval
+                    // lock: drop it and resume from p — the next capture
+                    // sees the zombie and pre-allocates (same discipline
+                    // as the nn==nullptr resume below).
+                    p->succ_lock.unlock();
+                    tc.add(obs::Counter::kLocateResumes);
+                    node = p;
+                    continue;
+                  }
+                  // Fold the outgoing incarnation into the spare record
+                  // and flip vbirth to kRenewing *before* the live
+                  // stores: snapshots resolve through the chain until
+                  // the rebirth is stamped (DESIGN.md §16).
+                  mvcc_begin_revive(s, vspare, tc);
+                }
                 // Revive in place: value first, then the presence flip.
                 s->value.store(v, std::memory_order_relaxed);
                 s->deleted.store(false, std::memory_order_release);
                 p->succ_lock.unlock();
+                // Stamp the rebirth now that the revive is published;
+                // after the lock so the stamp's fence never rides a held
+                // spinlock.
+                mvcc_stamp_fresh(s);
                 if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
                 tc.add(obs::Counter::kInsertOps);
                 tc.add(obs::Counter::kInsertSuccess);
@@ -580,6 +868,7 @@ class LoCore {
             }
             p->succ_lock.unlock();
             if (nn != nullptr) Alloc::template destroy<NodeT>(nn);
+            mvcc_free_spare(vspare);
             tc.add(obs::Counter::kInsertOps);
             return false;  // unsuccessful insert
           }
@@ -597,6 +886,9 @@ class LoCore {
             }
           }
           NodeT* parent = choose_parent(p, s, node);
+          // nn's vbirth is still kUnstamped (its initializer): a snapshot
+          // that sees the node before mvcc_stamp_fresh below help-stamps
+          // it past its own cut.
           nn->succ.store(s, std::memory_order_relaxed);
           nn->pred.store(p, std::memory_order_relaxed);
           nn->parent.store(parent, std::memory_order_relaxed);
@@ -627,6 +919,12 @@ class LoCore {
           check::perturb_point(check::PerturbPoint::kInsertHalfLinked);
           s->pred.store(nn, std::memory_order_release);
           p->succ_lock.unlock();
+          // Stamp the initial version now that the node is published (the
+          // fence inside orders the publication before the stamp's counter
+          // load); after the lock so the stamp's fence never rides a held
+          // spinlock.
+          mvcc_stamp_fresh(nn);
+          mvcc_free_spare(vspare);
           check::perturb_point(check::PerturbPoint::kInsertBeforeTreeLink);
           tc.add(obs::Counter::kInsertOps);
           tc.add(obs::Counter::kInsertSuccess);
@@ -710,7 +1008,12 @@ class LoCore {
           if constexpr (kLogicalRemoving) {
             if (shape == RemovalShape::kTwoChildren) {
               // Logical removal only: s stays in both layouts as a zombie.
-              // This store is the linearization point (§6).
+              // This store is the linearization point (§6). The death
+              // stamp precedes it: a snapshot that already adopted a cut
+              // below the stamp keeps reporting the key present off its
+              // vbirth, and one that reads the pending kDying helps
+              // finalize past its own cut (DESIGN.md §16).
+              mvcc_mark_dead(s);
               s->deleted.store(true, std::memory_order_release);
               s->succ_lock.unlock();
               p->succ_lock.unlock();
@@ -719,6 +1022,14 @@ class LoCore {
               tc.add(obs::Counter::kEraseLogical);
               return true;
             }
+          }
+          // Death marker + limbo decision *before* the chain splice: a
+          // snapshot scan collects limbo after its chain walk, so a node
+          // it can still need must already be parked when it disappears
+          // from the chain (DESIGN.md §16).
+          bool limboed = false;
+          if constexpr (mvcc::kEnabled) {
+            limboed = mvcc_limbo_decision(s, mvcc_mark_dead(s));
           }
           unlink_from_chain(p, s);
           check::perturb_point(check::PerturbPoint::kEraseBeforeTreeUnlink);
@@ -730,7 +1041,10 @@ class LoCore {
               relocate_successor(s);
             }
           }
-          domain_->template retire_via<Alloc>(s);
+          if (!limboed) {
+            mvcc_retire_versions(s, tc);
+            domain_->template retire_via<Alloc>(s);
+          }
           tc.add(obs::Counter::kEraseOps);
           tc.add(obs::Counter::kEraseSuccess);
           if constexpr (kLogicalRemoving) {
@@ -921,6 +1235,304 @@ class LoCore {
       return n->value.load(std::memory_order_acquire);
     } else {
       return n->value;
+    }
+  }
+
+  // ------------------------------------------------- MVCC hooks (§16)
+  // Every body below is `if constexpr (mvcc::kEnabled)`-gated, so with
+  // LOT_DISABLE_MVCC the calls compile away and the write path is
+  // bit-identical to the pre-MVCC tree. Stamp slots are mutated only by
+  // the writer holding the node's interval lock, plus the bounded
+  // help-finalize CAS (mvcc.hpp has the protocol).
+
+  static_assert(mvcc::kUnstamped == 0 && mvcc::kAlive == 0,
+                "node stamp fields initialize to 0 == kUnstamped/kAlive "
+                "(lo/node.hpp cannot include lo/mvcc.hpp)");
+
+  mvcc::EpochSource& epoch_src() const { return *epoch_src_; }
+
+  /// Stamps the death of s's current incarnation and returns the stamp.
+  /// Call under s's succ_lock with s live. Normalizes a still-pending
+  /// rebirth first: holding the lock proves the previous revive's locked
+  /// section (including its value store) completed, so helping the
+  /// kRenewing -> kUnstamped transition is safe here — readers never may.
+  std::uint64_t mvcc_mark_dead(NodeT* s) {
+    if constexpr (mvcc::kEnabled) {
+      std::uint64_t b = s->vbirth.load(std::memory_order_seq_cst);
+      if (b == mvcc::kRenewing) {
+        s->vbirth.compare_exchange_strong(b, mvcc::kUnstamped,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst);
+      }
+      mvcc::finalize(s->vbirth, mvcc::kUnstamped, epoch_src());
+      s->vdeath.store(mvcc::kDying, std::memory_order_seq_cst);
+      return mvcc::finalize(s->vdeath, mvcc::kDying, epoch_src());
+    } else {
+      (void)s;
+      return 0;
+    }
+  }
+
+  /// Help-finalizes an already-initiated death (a zombie's, stamped by
+  /// the logical erase that zombified it) and returns the stamp. Never
+  /// initiates: vdeath has left kAlive by the caller's precondition.
+  std::uint64_t mvcc_finalize_death(NodeT* q) {
+    if constexpr (mvcc::kEnabled) {
+      return mvcc::finalize(q->vdeath, mvcc::kDying, epoch_src());
+    } else {
+      (void)q;
+      return 0;
+    }
+  }
+
+  /// The park-or-retire decision, made *before* the chain splice: if any
+  /// registered snapshot could still need the node (min_active < death),
+  /// park it in limbo and return true (the caller must not retire it).
+  /// The remover drew `d` (seq_cst RMW) before this min load, and
+  /// reserve() stores the min (seq_cst) before its caller adopts a cut,
+  /// so a registrant this load misses adopted an epoch >= d — the node
+  /// is absent in its snapshot anyway (mvcc.hpp, ordering argument).
+  bool mvcc_limbo_decision(NodeT* s, std::uint64_t d) {
+    if constexpr (mvcc::kEnabled) {
+      if (snap_reg_.min_active() < d) {
+        limbo_.push(s, d);
+        return true;
+      }
+    } else {
+      (void)s;
+      (void)d;
+    }
+    return false;
+  }
+
+  /// Folds s's outgoing incarnation into `spare` (pushed on the vhead
+  /// chain) and flips the node to the pending-rebirth state. Call under
+  /// the interval lock, before the revive's value/deleted stores; the
+  /// caller must call mvcc_stamp_fresh(s) after unlocking. Takes
+  /// ownership of spare (nulls it).
+  void mvcc_begin_revive(NodeT* s, mvcc::PastVersion<V>*& spare,
+                         obs::Tls tc) {
+    if constexpr (mvcc::kEnabled) {
+      // Normalize + finalize the outgoing stamps (lock held: helping the
+      // pending rebirth is safe, as in mvcc_mark_dead). The death is
+      // already stamped — the logical erase finalized it under this same
+      // interval lock — so finalize just reloads it.
+      std::uint64_t b = s->vbirth.load(std::memory_order_seq_cst);
+      if (b == mvcc::kRenewing) {
+        s->vbirth.compare_exchange_strong(b, mvcc::kUnstamped,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst);
+      }
+      const std::uint64_t birth =
+          mvcc::finalize(s->vbirth, mvcc::kUnstamped, epoch_src());
+      const std::uint64_t death =
+          mvcc::finalize(s->vdeath, mvcc::kDying, epoch_src());
+      spare->birth = birth;
+      spare->death = death;
+      spare->value = s->value.load(std::memory_order_relaxed);
+      spare->next.store(s->vhead.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      s->vhead.store(spare, std::memory_order_seq_cst);
+      spare = nullptr;
+      // kRenewing *before* resetting vdeath: a resolver that already read
+      // the old stamped vbirth must fail its seqlock re-check rather than
+      // pair the old birth with the reset death slot.
+      s->vbirth.store(mvcc::kRenewing, std::memory_order_seq_cst);
+      s->vdeath.store(mvcc::kAlive, std::memory_order_seq_cst);
+      mvcc_truncate(s, tc);
+    } else {
+      (void)s;
+      (void)spare;
+      (void)tc;
+    }
+  }
+
+  /// Stamps a freshly published incarnation (new node or revive), after
+  /// the publishing lock is dropped. The seq_cst fence orders the
+  /// publication stores before the stamp's counter RMW: a snapshot that
+  /// missed the publication read its epoch before this fence, so the
+  /// stamp lands strictly after its cut (mvcc.hpp, ordering argument).
+  /// CAS, not a plain store, out of kRenewing: a lock-holding helper may
+  /// have normalized — and a reader then finalized — the slot already.
+  void mvcc_stamp_fresh(NodeT* n) const {
+    if constexpr (mvcc::kEnabled) {
+      std::uint64_t b = n->vbirth.load(std::memory_order_seq_cst);
+      if (b == mvcc::kRenewing) {
+        n->vbirth.compare_exchange_strong(b, mvcc::kUnstamped,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst);
+      }
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      mvcc::finalize(n->vbirth, mvcc::kUnstamped, epoch_src());
+    } else {
+      (void)n;
+    }
+  }
+
+  /// Cuts s's version chain below the oldest record any registered
+  /// snapshot can reach. First-fit resolution stops at the first record
+  /// with birth <= E, and every registered E is >= min_active, so the
+  /// first record with death <= min_active is an absorbing boundary: no
+  /// resolution walks past it. It stays; everything older retires.
+  void mvcc_truncate(NodeT* s, obs::Tls tc) {
+    if constexpr (mvcc::kEnabled && kLogicalRemoving) {
+      const std::uint64_t m = snap_reg_.min_active();
+      mvcc::PastVersion<V>* r = s->vhead.load(std::memory_order_relaxed);
+      while (r != nullptr && r->death > m) {
+        r = r->next.load(std::memory_order_relaxed);
+      }
+      if (r == nullptr) return;
+      mvcc::PastVersion<V>* tail =
+          r->next.exchange(nullptr, std::memory_order_seq_cst);
+      std::uint64_t n = 0;
+      while (tail != nullptr) {
+        mvcc::PastVersion<V>* nx = tail->next.load(std::memory_order_relaxed);
+        domain_->template retire_via<Alloc>(tail);
+        ++n;
+        tail = nx;
+      }
+      if (n != 0) tc.add(obs::Counter::kVersionsRetired, n);
+    } else {
+      (void)s;
+      (void)tc;
+    }
+  }
+
+  /// Retires s's whole version chain through EBR — the node is leaving
+  /// the structure for good (physical removal with no snapshot needing
+  /// it, or a limbo prune).
+  void mvcc_retire_versions(NodeT* s, obs::Tls tc) const {
+    if constexpr (mvcc::kEnabled && kLogicalRemoving) {
+      mvcc::PastVersion<V>* r =
+          s->vhead.exchange(nullptr, std::memory_order_relaxed);
+      std::uint64_t n = 0;
+      while (r != nullptr) {
+        mvcc::PastVersion<V>* nx = r->next.load(std::memory_order_relaxed);
+        domain_->template retire_via<Alloc>(r);
+        ++n;
+        r = nx;
+      }
+      if (n != 0) tc.add(obs::Counter::kVersionsRetired, n);
+    } else {
+      (void)s;
+      (void)tc;
+    }
+  }
+
+  /// Teardown-only variant: destroys the chain directly (no grace period
+  /// — the destructor runs with no operations in flight).
+  static void mvcc_destroy_versions(NodeT* n) {
+    if constexpr (mvcc::kEnabled && kLogicalRemoving) {
+      mvcc::PastVersion<V>* r =
+          n->vhead.load(std::memory_order_relaxed);
+      while (r != nullptr) {
+        mvcc::PastVersion<V>* nx = r->next.load(std::memory_order_relaxed);
+        Alloc::template destroy<mvcc::PastVersion<V>>(r);
+        r = nx;
+      }
+    } else {
+      (void)n;
+    }
+  }
+
+  static void mvcc_free_spare(mvcc::PastVersion<V>* sp) {
+    if constexpr (mvcc::kEnabled) {
+      if (sp != nullptr) {
+        Alloc::template destroy<mvcc::PastVersion<V>>(sp);
+      }
+    } else {
+      (void)sp;
+    }
+  }
+
+  /// Resolves a node against snapshot epoch `e`: the value its key had
+  /// at the cut, or empty if absent. The vbirth re-read makes the loop a
+  /// seqlock over (vbirth, vdeath, value): stamps are unique, so a match
+  /// proves the incarnation did not turn over while we read.
+  std::optional<V> mvcc_resolve(const NodeT* n, std::uint64_t e,
+                                std::uint64_t* view_reads,
+                                obs::Tls tc) const {
+    if constexpr (mvcc::kEnabled) {
+#if defined(LOT_INJECT_BUG) && LOT_INJECT_BUG == 3
+      // Seeded bug (checker negative control): the snapshot's second node
+      // resolution "forgets" its epoch bound and reads newest state — a
+      // torn scan mixing two cuts, which cannot linearize at any single
+      // point (tests/stress/stress_lo_torn_snapshot.cpp).
+      if (view_reads != nullptr && ++*view_reads == 2) {
+        e = mvcc::kNoSnapshot - 1;
+      }
+#else
+      (void)view_reads;
+#endif
+      NodeT* node = const_cast<NodeT*>(n);
+      for (;;) {
+        const std::uint64_t b = node->vbirth.load(std::memory_order_seq_cst);
+        if (b == mvcc::kRenewing) {
+          // Rebirth mid-flight. Never help (the value slot is not ours
+          // yet); the chain already holds the outgoing incarnation, and
+          // the rebirth will stamp later than any adopted cut.
+          return mvcc_resolve_chain(node, e, tc);
+        }
+        if (b == mvcc::kUnstamped) {
+          // Published but unstamped: help draw. The drawn stamp is later
+          // than our cut, so the next iteration routes to the chain.
+          mvcc::finalize(node->vbirth, mvcc::kUnstamped, epoch_src());
+          continue;
+        }
+        if (b > e) return mvcc_resolve_chain(node, e, tc);
+        std::uint64_t d = node->vdeath.load(std::memory_order_seq_cst);
+        if (d == mvcc::kDying) {
+          d = mvcc::finalize(node->vdeath, mvcc::kDying, epoch_src());
+        }
+        const V val = read_value(node);
+        if (node->vbirth.load(std::memory_order_seq_cst) != b) continue;
+        if (d != mvcc::kAlive && d <= e) return std::nullopt;
+        return val;
+      }
+    } else {
+      (void)n;
+      (void)e;
+      (void)view_reads;
+      (void)tc;
+      return std::nullopt;
+    }
+  }
+
+  /// Chain arm of the resolver: first record with birth <= e decides
+  /// (absent iff its death <= e); no such record means the key did not
+  /// exist at the cut. On-time nodes have no chain — always absent.
+  std::optional<V> mvcc_resolve_chain(const NodeT* n, std::uint64_t e,
+                                      obs::Tls tc) const {
+    if constexpr (mvcc::kEnabled) {
+      tc.add(obs::Counter::kVersionChainWalks);
+      if constexpr (kLogicalRemoving) {
+        const mvcc::PastVersion<V>* r =
+            n->vhead.load(std::memory_order_seq_cst);
+        while (r != nullptr && r->birth > e) {
+          r = r->next.load(std::memory_order_seq_cst);
+        }
+        if (r == nullptr || r->death <= e) return std::nullopt;
+        return r->value;
+      } else {
+        (void)n;
+        return std::nullopt;
+      }
+    } else {
+      (void)n;
+      (void)e;
+      (void)tc;
+      return std::nullopt;
+    }
+  }
+
+  /// Retires every limbo entry no registered snapshot can need. Runs on
+  /// view release, so limbo only grows while snapshots are live.
+  void mvcc_prune_limbo() const {
+    if constexpr (mvcc::kEnabled) {
+      limbo_.prune(snap_reg_.min_active(), [this](NodeT* n) {
+        mvcc_retire_versions(n, obs::tls());
+        domain_->template retire_via<Alloc>(n);
+      });
     }
   }
 
@@ -1271,9 +1883,20 @@ class LoCore {
       p->succ_lock.unlock();
       return false;  // still two children
     }
+    // The zombie's death was stamped by the logical erase that zombified
+    // it; no new stamp here — just help-finalize in case that erase's
+    // finalize CAS has not landed yet, and reuse the stamp for the limbo
+    // decision.
+    bool limboed = false;
+    if constexpr (mvcc::kEnabled) {
+      limboed = mvcc_limbo_decision(q, mvcc_finalize_death(q));
+    }
     unlink_from_chain(p, q);
     unlink_node(q, np, child);
-    domain_->template retire_via<Alloc>(q);
+    if (!limboed) {
+      mvcc_retire_versions(q, obs::tls());
+      domain_->template retire_via<Alloc>(q);
+    }
     obs::count(obs::Counter::kPurgeSuccesses);
     return true;
   }
@@ -1284,6 +1907,15 @@ class LoCore {
   NodeT* root_;  // == pos_ (the +inf sentinel)
   NodeT* neg_;
   NodeT* pos_;
+
+  // MVCC state (lo/mvcc.hpp; empty stand-ins when compiled out, so the
+  // declarations stay unconditional). The owned source is the default
+  // clock; ShardedMap rebinds every shard to one shared source. Mutable:
+  // snapshot() is a read and must work on const maps.
+  mutable mvcc::EpochSource epoch_src_own_;
+  mvcc::EpochSource* epoch_src_ = &epoch_src_own_;
+  mutable mvcc::SnapshotRegistry snap_reg_;
+  mutable mvcc::LimboList<NodeT> limbo_;
 };
 
 }  // namespace lot::lo

@@ -40,6 +40,13 @@
 
 namespace lot::lo {
 
+namespace mvcc {
+// lo/mvcc.hpp; the node only stores a pointer, so the forward
+// declaration keeps this header free of the MVCC machinery.
+template <typename V>
+struct PastVersion;
+}  // namespace mvcc
+
 /// Sentinel tag. Sentinels compare below/above every normal key so that K
 /// itself needs no infinity values (paper §3.1 adds -inf/+inf to the set).
 enum class Tag : std::int8_t { kNegInf = -1, kNormal = 0, kPosInf = 1 };
@@ -69,6 +76,19 @@ struct alignas(sync::kCacheLineSize) Node {
   std::atomic<Self*> succ{nullptr};
 
   V value;
+
+#if !defined(LOT_DISABLE_MVCC)
+  /// MVCC incarnation stamps (lo/mvcc.hpp, DESIGN.md §16): the epochs
+  /// this node's key became present (vbirth) and absent (vdeath).
+  /// 0 == mvcc::kUnstamped / mvcc::kAlive (the header is not included
+  /// here; lo/core.hpp static_asserts the equality). On the hot line
+  /// because snapshot scans resolve them during the same chain walk
+  /// readers already take; live point reads never touch them. Mutated
+  /// only by the single writer holding the node's interval lock, plus
+  /// the help-finalize CAS readers are allowed (see mvcc.hpp).
+  std::atomic<std::uint64_t> vbirth{0};
+  std::atomic<std::uint64_t> vdeath{0};
+#endif
 
   // ---- cold line: physical tree layout (tree_lock) + both locks ----
   alignas(sync::kCacheLineSize) std::atomic<Self*> left{nullptr};
@@ -126,6 +146,17 @@ struct alignas(sync::kCacheLineSize) PartialNode {
   /// Atomic so revive's store can race with lock-free value reads.
   std::atomic<V> value;
 
+#if !defined(LOT_DISABLE_MVCC)
+  /// MVCC incarnation stamps; see Node::vbirth / Node::vdeath.
+  std::atomic<std::uint64_t> vbirth{0};
+  std::atomic<std::uint64_t> vdeath{0};
+
+  /// Head of the past-incarnation chain (mvcc::PastVersion): only
+  /// revive-in-place appends (the outgoing incarnation is folded into a
+  /// record), so the on-time layout above carries no chain at all.
+  std::atomic<mvcc::PastVersion<V>*> vhead{nullptr};
+#endif
+
   // ---- cold line: physical tree layout (tree_lock) + both locks ----
   alignas(sync::kCacheLineSize) std::atomic<Self*> left{nullptr};
   std::atomic<Self*> right{nullptr};
@@ -179,6 +210,11 @@ static_assert(offsetof(ProbeNode, key) < sync::kCacheLineSize &&
                   offsetof(ProbeNode, value) + sizeof(std::int64_t) <=
                       sync::kCacheLineSize,
               "lock-free read path must fit in the first cache line");
+#if !defined(LOT_DISABLE_MVCC)
+static_assert(offsetof(ProbeNode, vdeath) + sizeof(std::uint64_t) <=
+                  sync::kCacheLineSize,
+              "MVCC stamps must ride the hot line");
+#endif
 static_assert(offsetof(ProbeNode, left) == sync::kCacheLineSize &&
                   offsetof(ProbeNode, tree_lock) >= sync::kCacheLineSize &&
                   offsetof(ProbeNode, succ_lock) >= sync::kCacheLineSize,
@@ -205,6 +241,13 @@ static_assert(offsetof(ProbePartialNode, key) < sync::kCacheLineSize &&
                   offsetof(ProbePartialNode, value) + sizeof(std::int64_t) <=
                       sync::kCacheLineSize,
               "lock-free read path must fit in the first cache line");
+#if !defined(LOT_DISABLE_MVCC)
+static_assert(offsetof(ProbePartialNode, vdeath) + sizeof(std::uint64_t) <=
+                  sync::kCacheLineSize &&
+                  offsetof(ProbePartialNode, vhead) + sizeof(void*) <=
+                      sync::kCacheLineSize,
+              "MVCC stamps and the chain head must ride the hot line");
+#endif
 static_assert(offsetof(ProbePartialNode, left) == sync::kCacheLineSize &&
                   offsetof(ProbePartialNode, tree_lock) >=
                       sync::kCacheLineSize &&

@@ -76,6 +76,11 @@ enum class Counter : std::uint16_t {
   kPurgeSuccesses,    // ... that physically removed the zombie
   kRotationsDeferred, // rebalance climbs that skipped rotations (throttle hot)
 
+  // -- MVCC snapshot machinery (DESIGN.md §16) ---------------------------
+  kSnapshotAcquires,  // snapshot() epoch draws (no descent of their own)
+  kVersionsRetired,   // version records retired (truncation, node death)
+  kVersionChainWalks, // version-chain resolutions (one per node resolved)
+
   kCount
 };
 
@@ -111,6 +116,9 @@ constexpr const char* counter_name(Counter c) {
     case Counter::kPurgeAttempts:      return "purge_attempts";
     case Counter::kPurgeSuccesses:     return "purge_successes";
     case Counter::kRotationsDeferred:  return "rotations_deferred";
+    case Counter::kSnapshotAcquires:   return "snapshot_acquires";
+    case Counter::kVersionsRetired:    return "versions_retired";
+    case Counter::kVersionChainWalks:  return "version_chain_walks";
     case Counter::kCount:              break;
   }
   return "?";

@@ -88,7 +88,13 @@ struct Snapshot {
   /// Writes re-descend only when a failed validation exhausts its resume
   /// budget, which the restart counters measure independently; in-place
   /// resumes (kLocateResumes) perform no descent and so do not enter the
-  /// identity — the companion cross-check is kValidationFallbacks ==
+  /// identity. MVCC snapshot reads (DESIGN.md §16) stay inside it by
+  /// construction: a snapshot contains/get/range performs one descent and
+  /// bumps the same per-op counter as its live twin, snapshot cursor
+  /// opens count kOrderedLocates, and the snapshot-only counters
+  /// (kSnapshotAcquires, kVersionsRetired, kVersionChainWalks) track
+  /// non-descent work, so none of them enters the sum.
+  /// The companion cross-check is kValidationFallbacks ==
   /// kInsertRestarts + kEraseRestarts in fault-free runs. Signed: a mid-run
   /// transiently see more ops than descents (the descent is counted
   /// before the op completes); at quiescence the value is exact.

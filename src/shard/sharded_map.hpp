@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "lo/mvcc.hpp"
 #include "obs/counters.hpp"
 #include "reclaim/ebr.hpp"
 #include "reclaim/pool.hpp"
@@ -87,6 +88,12 @@ class ShardedMap {
     for (unsigned i = 0; i < Shards; ++i) {
       shards_.push_back(std::make_unique<ShardSlot>(comp_));
     }
+#if !defined(LOT_DISABLE_MVCC)
+    // One clock for all shards: per-shard version stamps and snapshot
+    // cuts draw from the same totally-ordered source, which is what
+    // makes the composite snapshot() below a single cut (DESIGN.md §16).
+    for (auto& s : shards_) s->map.use_epoch_source(epoch_src_);
+#endif
   }
 
   ShardedMap(const ShardedMap&) = delete;
@@ -228,6 +235,116 @@ class ShardedMap {
 
   Cursor cursor() const { return Cursor(merge_from_start()); }
 
+#if !defined(LOT_DISABLE_MVCC)
+  // --------------------------------------------------- composite snapshot
+
+  /// One consistent cut of the WHOLE sharded map (DESIGN.md §16): every
+  /// shard holds an epoch-pinned SnapshotView adopted at the same E from
+  /// the shared clock, so cross-shard reads — unlike the live merge's
+  /// per-shard caveat above — all linearize at that single point.
+  /// Holds one registry slot plus one reclamation pin PER SHARD; keep it
+  /// as short-lived as any view.
+  class Snapshot {
+   public:
+    Snapshot(Snapshot&&) noexcept = default;
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+    Snapshot& operator=(Snapshot&&) = delete;
+
+    /// The cut every shard adopted.
+    std::uint64_t epoch() const { return epoch_; }
+
+    bool contains(const K& k) const {
+      return views_[shard_of(k, Shards)].contains(k);
+    }
+
+    std::optional<V> get(const K& k) const {
+      return views_[shard_of(k, Shards)].get(k);
+    }
+
+    /// Ordered scan of [lo, hi) as of the cut: k-way merge over the
+    /// per-shard snapshot cursors, counted at this layer exactly like
+    /// the live sharded range (one kRangeOps, inner opens count their
+    /// own kOrderedLocates).
+    template <typename F>
+    void range(const K& lo, const K& hi, F&& fn) const {
+      if (!comp_(lo, hi)) return;
+      const auto tc = obs::tls();
+      tc.add(obs::Counter::kRangeOps);
+      std::uint64_t reported = 0;
+      SnapMerge merge = merge_from(lo);
+      while (auto kv = merge.next()) {
+        if (comp_(kv->first, lo)) continue;
+        if (!comp_(kv->first, hi)) break;
+        fn(kv->first, kv->second);
+        ++reported;
+      }
+      if (reported != 0) tc.add(obs::Counter::kRangeKeysReported, reported);
+    }
+
+    /// Full ordered iteration as of the cut.
+    template <typename F>
+    void for_each(F&& fn) const {
+      std::vector<typename MapT::SnapshotView::Cursor> cursors;
+      cursors.reserve(views_.size());
+      for (const auto& v : views_) cursors.push_back(v.cursor());
+      SnapMerge merge(std::move(cursors), comp_);
+      while (auto kv = merge.next()) fn(kv->first, kv->second);
+    }
+
+    /// Drops every shard's registry slot and reclamation pin early (the
+    /// destructor does the same); reads afterwards return empty.
+    void release() {
+      for (auto& v : views_) v.release();
+    }
+
+   private:
+    using SnapMerge =
+        KWayMerge<typename MapT::SnapshotView::Cursor, K, V, key_compare>;
+
+    Snapshot(std::vector<typename MapT::SnapshotView> views,
+             std::uint64_t e, key_compare comp)
+        : views_(std::move(views)), epoch_(e), comp_(std::move(comp)) {}
+
+    SnapMerge merge_from(const K& lo) const {
+      std::vector<typename MapT::SnapshotView::Cursor> cursors;
+      cursors.reserve(views_.size());
+      for (const auto& v : views_) cursors.push_back(v.cursor(lo));
+      return SnapMerge(std::move(cursors), comp_);
+    }
+
+    std::vector<typename MapT::SnapshotView> views_;
+    std::uint64_t epoch_;
+    key_compare comp_;
+    friend class ShardedMap;
+  };
+
+  /// Two-phase composite snapshot: every shard RESERVES its registry
+  /// slot first (publishing its pin floor to that shard's writers), then
+  /// one cut E is drawn from the shared clock and adopted by all. A
+  /// write on any shard stamped at or before E is visible through the
+  /// snapshot, one stamped after E is not — shard-independently, which
+  /// is exactly the single-cut claim tests/test_lo_ordered_api pins.
+  Snapshot snapshot() const {
+    std::vector<std::uint64_t> tokens;
+    tokens.reserve(Shards);
+    for (const auto& s : shards_) {
+      note_ordered(*s);
+      tokens.push_back(s->map.snapshot_reserve());
+    }
+    const std::uint64_t e = epoch_src_.now();
+    std::vector<typename MapT::SnapshotView> views;
+    views.reserve(Shards);
+    for (unsigned i = 0; i < Shards; ++i) {
+      views.push_back(shards_[i]->map.snapshot_adopt(tokens[i], e));
+    }
+    return Snapshot(std::move(views), e, comp_);
+  }
+
+  /// The shared clock (tests: stamp-source identity across shards).
+  lo::mvcc::EpochSource& epoch_source() const { return epoch_src_; }
+#endif  // !LOT_DISABLE_MVCC
+
   // ------------------------------------------------------- conveniences
 
   std::size_t size_slow() const {
@@ -363,6 +480,12 @@ class ShardedMap {
   // cacheline-aligned stats block, and the vector must never relocate a
   // live domain.
   std::vector<std::unique_ptr<ShardSlot>> shards_;
+#if !defined(LOT_DISABLE_MVCC)
+  // Declared after shards_ so it outlives no shard during construction;
+  // mutable because snapshot() is a read on a const map. Shards are
+  // rebound to it in the constructor, before any op can run.
+  mutable lo::mvcc::EpochSource epoch_src_;
+#endif
 };
 
 }  // namespace lot::shard

@@ -65,7 +65,18 @@ struct StressParams {
   std::uint32_t max_sleep_us = 60;
   bool prefill = true;              // recorded half-dense prefill
   unsigned scan_pct = 0;            // taken from the erase share's tail
+  // Snapshot scans (MVCC builds): also taken from the erase share, between
+  // erase and the weak scans. Each draws a SnapshotView and records ONE
+  // whole-scan observation (check/history.hpp) that the whole-scan checker
+  // must explain at a single linearization point. On maps without
+  // snapshot() (or LOT_MVCC=OFF builds) the share falls back to erase.
+  unsigned snapshot_pct = 0;
   std::int64_t scan_len = 12;       // keys spanned per recorded scan
+  // Per-op chance (permille) of an unrecorded purge_all() burst racing the
+  // workers — physical unlink storms are exactly what snapshot scans must
+  // survive. purge_all has no logical effect, so it needs no history
+  // event. Ignored on on-time-removal maps.
+  std::uint32_t purge_permille = 0;
   bool partial = false;             // logical-removing map: relax validation
   // The stale-version negative control (LOT_INJECT_BUG=2) deliberately
   // orphans nodes off the chain while they stay in the tree: the
@@ -78,8 +89,14 @@ template <typename KeyT>
 struct StressOutcome {
   check::CheckResult<KeyT> result;
   std::vector<check::Event<KeyT>> history;
+  // Whole-scan observations and their separate atomicity verdict
+  // (check::check_snapshot_scans). Default-constructed CheckResult is
+  // kLinearizable, so runs without snapshot scans pass vacuously.
+  std::vector<check::SnapshotScan<KeyT>> scans;
+  check::CheckResult<KeyT> scan_result;
   std::uint64_t total_ops = 0;
-  double check_ms = 0.0;  // offline checker wall time
+  double check_ms = 0.0;       // offline per-key checker wall time
+  double scan_check_ms = 0.0;  // whole-scan checker wall time
   // Observability snapshots bracketing the run (before prefill / after the
   // workers joined, both quiescent) for expect_obs_reconciles() below.
   obs::Snapshot obs_before{};
@@ -101,6 +118,25 @@ StressOutcome<KeyT> check_history(std::vector<check::Event<KeyT>> history) {
   return out;
 }
 
+/// As above, plus the whole-scan atomicity check over recorded snapshot
+/// scans: every scan's full observation vector must be explainable by the
+/// per-key write history at a single instant within the scan's window.
+template <typename KeyT>
+StressOutcome<KeyT> check_history(
+    std::vector<check::Event<KeyT>> history,
+    std::vector<check::SnapshotScan<KeyT>> scans) {
+  auto out = check_history(std::move(history));
+  out.scans = std::move(scans);
+  if (!out.scans.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    out.scan_result = check::check_snapshot_scans(out.history, out.scans);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.scan_check_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  return out;
+}
+
 /// One-line checker-stats summary (gtest-style informational output, also
 /// the source for the EXPERIMENTS.md checker-runtime table).
 template <typename KeyT>
@@ -114,6 +150,14 @@ void print_check_stats(const char* tag, const StressOutcome<KeyT>& out) {
       static_cast<unsigned long long>(s.overlap_blocks),
       static_cast<unsigned long long>(s.max_block),
       static_cast<unsigned long long>(s.configs_explored), out.check_ms);
+  if (!out.scans.empty()) {
+    std::printf(
+        "[ checker  ] %s: %zu snapshot scans, %llu configs, %.2f ms "
+        "(whole-scan)\n",
+        tag, out.scans.size(),
+        static_cast<unsigned long long>(out.scan_result.stats.configs_explored),
+        out.scan_check_ms);
+  }
 }
 
 /// Runs the recorded, perturbed, phase-validated stress described in the
@@ -161,16 +205,42 @@ StressOutcome<typename MapT::key_type> run_perturbed_stress(
         for (std::uint64_t i = 0; i < p.ops_per_phase; ++i) {
           const K key = static_cast<K>(
               rng.next_below(static_cast<std::uint64_t>(p.key_range)));
+          if constexpr (requires { map.purge_all(); }) {
+            if (p.purge_permille > 0 &&
+                rng.next_below(1000) < p.purge_permille) {
+              map.purge_all();
+            }
+          }
           const auto dice = rng.next_below(100);
+          const bool snapshot_roll =
+              dice >= 100 - p.scan_pct - p.snapshot_pct &&
+              dice < 100 - p.scan_pct;
           if (dice < p.contains_pct) {
             rec.record(t, check::Op::kContains, key,
                        [&] { return map.contains(key); });
           } else if (dice < p.contains_pct + p.insert_pct) {
             rec.record(t, check::Op::kInsert, key,
                        [&] { return map.insert(key, key); });
-          } else if (dice < 100 - p.scan_pct) {
+          } else if (dice < 100 - p.scan_pct && !snapshot_roll) {
             rec.record(t, check::Op::kRemove, key,
                        [&] { return map.erase(key); });
+          } else if (snapshot_roll) {
+            // Snapshot scan, recorded as ONE whole-scan observation: the
+            // entire reported vector must hold at a single point within
+            // the window. Falls back to erase when the map has no
+            // snapshot() (weak-scan / LOT_MVCC=OFF builds), keeping the
+            // op mix comparable across configurations.
+            if constexpr (requires { map.snapshot(); }) {
+              rec.record_snapshot_scan(
+                  t, key, static_cast<K>(key + p.scan_len),
+                  [&](const K& lo, const K& hi, auto&& sink) {
+                    auto view = map.snapshot();
+                    view.range(lo, hi, sink);
+                  });
+            } else {
+              rec.record(t, check::Op::kRemove, key,
+                         [&] { return map.erase(key); });
+            }
           } else {
             // Recorded range scan, decomposed by the recorder into
             // per-key contains observations (check/history.hpp) that the
@@ -232,7 +302,7 @@ StressOutcome<typename MapT::key_type> run_perturbed_stress(
                         << rep.to_string();
   }
 
-  auto out = check_history(rec.merged());
+  auto out = check_history(rec.merged(), rec.merged_scans());
   out.obs_before = obs_before;
   out.obs_after = obs_after;
   return out;
@@ -268,6 +338,8 @@ void expect_obs_reconciles(const StressOutcome<KeyT>& out,
         ++con;
         con_ok += e.result ? 1 : 0;
         break;
+      case check::Op::kScan:
+        break;  // whole-scan observations live in out.scans, never here
     }
   }
   using obs::Counter;
@@ -278,14 +350,28 @@ void expect_obs_reconciles(const StressOutcome<KeyT>& out,
   EXPECT_EQ(d(Counter::kInsertSuccess), ins_ok) << "insert successes";
   EXPECT_EQ(d(Counter::kEraseOps), rem) << "erase ops vs history";
   EXPECT_EQ(d(Counter::kEraseSuccess), rem_ok) << "erase successes";
-  // Point lookups plus the per-key observations of every recorded scan.
-  const std::uint64_t scans = d(Counter::kRangeOps);
+  // Snapshot accounting is exact: every recorded snapshot scan acquired
+  // precisely one view, and each view's range() counted one kRangeOps plus
+  // one kRangeKeysReported per key it handed the sink — which is exactly
+  // that scan's recorded `present` vector. Subtracting those from the
+  // range-counter deltas leaves the weak scans, which the recorder
+  // decomposed into per-key contains observations.
+  const std::uint64_t snap_scans = out.scans.size();
+  std::uint64_t snap_keys = 0;
+  for (const auto& s : out.scans) snap_keys += s.present.size();
+  EXPECT_EQ(d(Counter::kSnapshotAcquires), snap_scans)
+      << "snapshot views acquired vs recorded snapshot scans";
+  ASSERT_GE(d(Counter::kRangeOps), snap_scans) << "range ops vs snapshots";
+  ASSERT_GE(d(Counter::kRangeKeysReported), snap_keys)
+      << "range keys vs snapshot observations";
+  const std::uint64_t scans = d(Counter::kRangeOps) - snap_scans;
   EXPECT_EQ(d(Counter::kContainsOps) +
                 scans * static_cast<std::uint64_t>(scan_len),
             con)
       << "contains observations (point + " << scans << " scans x "
       << scan_len << ") vs history";
-  EXPECT_EQ(d(Counter::kContainsHits) + d(Counter::kRangeKeysReported),
+  EXPECT_EQ(d(Counter::kContainsHits) + d(Counter::kRangeKeysReported) -
+                snap_keys,
             con_ok)
       << "contains hits + scan keys reported vs history true-reads";
   // The derived audit over this window: every tree descent accounted for
@@ -304,6 +390,17 @@ void expect_obs_reconciles(const StressOutcome<KeyT>& out,
   EXPECT_EQ(d(Counter::kValidationFallbacks),
             d(Counter::kInsertRestarts) + d(Counter::kEraseRestarts))
       << "fallbacks vs restart counts diverged";
+  // MVCC bookkeeping closes over the same window: a past-version record is
+  // only ever created by a successful insert that revived a zombie, so the
+  // versions retired can never exceed the successful inserts; and version
+  // chains are only walked on behalf of a snapshot resolution, so a run
+  // that never took a snapshot never touched a chain.
+  EXPECT_LE(d(Counter::kVersionsRetired), d(Counter::kInsertSuccess))
+      << "more versions retired than revives could have created";
+  if (snap_scans == 0) {
+    EXPECT_EQ(d(Counter::kVersionChainWalks), 0u)
+        << "version chain walked without any snapshot";
+  }
 }
 
 /// Writes the full history and (if any) violation witness where
@@ -325,6 +422,25 @@ std::string dump_history_artifact(const StressOutcome<KeyT>& out) {
     f << "# offending block:\n"
       << check::format_history(out.result.witness);
   }
+  if (!out.scans.empty()) {
+    f << "# whole-scan verdict: "
+      << (out.scan_result.ok() ? "linearizable" : "NON-LINEARIZABLE")
+      << "\n# whole-scan reason: " << out.scan_result.reason << "\n";
+    if (!out.scan_result.witness.empty()) {
+      f << "# writes on the offending key:\n"
+        << check::format_history(out.scan_result.witness);
+    }
+    f << "# snapshot scans (" << out.scans.size() << "):\n";
+    for (const auto& s : out.scans) {
+      f << "scan t" << s.thread << " [" << s.invoke << "," << s.response
+        << ") range [" << s.lo << "," << s.hi << ") present {";
+      for (std::size_t i = 0; i < s.present.size(); ++i) {
+        if (i > 0) f << ' ';
+        f << s.present[i];
+      }
+      f << "}\n";
+    }
+  }
   f << "# full history (" << out.history.size() << " events):\n"
     << check::format_history(out.history);
   return path;
@@ -334,11 +450,19 @@ std::string dump_history_artifact(const StressOutcome<KeyT>& out) {
 /// points at it in the assertion message.
 template <typename KeyT>
 void expect_linearizable(const StressOutcome<KeyT>& out) {
-  if (out.result.ok()) return;
+  if (out.result.ok() && out.scan_result.ok()) return;
   const std::string path = dump_history_artifact(out);
-  ADD_FAILURE() << "history of " << out.history.size()
-                << " events is not linearizable: " << out.result.reason
-                << "\nfull history dumped to " << path;
+  if (!out.result.ok()) {
+    ADD_FAILURE() << "history of " << out.history.size()
+                  << " events is not linearizable: " << out.result.reason
+                  << "\nfull history dumped to " << path;
+  }
+  if (!out.scan_result.ok()) {
+    ADD_FAILURE() << out.scans.size() << " snapshot scans checked, "
+                  << "whole-scan atomicity violated: "
+                  << out.scan_result.reason << "\nfull history dumped to "
+                  << path;
+  }
 }
 
 }  // namespace lot::stress

@@ -66,6 +66,8 @@ void expect_sharded_obs_reconciles(
         ++con;
         con_ok += e.result ? 1 : 0;
         break;
+      case lot::check::Op::kScan:
+        break;  // whole-scan observations never land in the event log
     }
   }
   using lot::obs::Counter;

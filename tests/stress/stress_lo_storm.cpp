@@ -364,6 +364,8 @@ void run_storm_campaign(const StormParams& p) {
             ++con;
             con_ok += e.result ? 1 : 0;
             break;
+          case lot::check::Op::kScan:
+            break;  // whole-scan observations never land in the event log
         }
       }
       using lot::obs::Counter;

@@ -3,19 +3,25 @@
 // queries, min/max — sequential semantics and behaviour under churn.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "check/history.hpp"
 #include "check/linearize.hpp"
 #include "lo/avl.hpp"
 #include "lo/bst.hpp"
+#include "lo/mvcc.hpp"
 #include "lo/partial.hpp"
 #include "lo/validate.hpp"
+#include "shard/sharded_map.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -535,5 +541,203 @@ TYPED_TEST(OrderedApiTest, NextChainMonotoneUnderChurn) {
   stop = true;
   for (auto& th : writers) th.join();
 }
+
+// ------------------------------------------------------------- snapshots
+//
+// MVCC snapshot views (DESIGN.md §16). LOT_MVCC=OFF keeps the pre-MVCC
+// weak-scan contract bit-for-bit: the scaffolding collapses to empty
+// stand-ins exactly like the LOT_OBS / LOT_HEALTH off-gates, the node
+// sheds its stamp fields, and snapshot() disappears from the API.
+
+#if defined(LOT_DISABLE_MVCC)
+
+static_assert(!lot::lo::mvcc::kEnabled);
+static_assert(std::is_empty_v<lot::lo::mvcc::EpochSource>,
+              "MVCC-off epoch source must stay an empty type");
+static_assert(std::is_empty_v<lot::lo::mvcc::SnapshotRegistry>,
+              "MVCC-off snapshot registry must stay an empty type");
+static_assert(
+    std::is_empty_v<lot::lo::mvcc::LimboList<int>>,
+    "MVCC-off limbo list must stay an empty type");
+// And snapshot() itself must be compiled out, not stubbed.
+template <typename M>
+concept HasSnapshot = requires(const M& m) { m.snapshot(); };
+static_assert(!HasSnapshot<PartialAvlMap<K, V>>,
+              "MVCC-off maps must not expose snapshot()");
+static_assert(!HasSnapshot<lot::shard::ShardedMap<PartialAvlMap<K, V>, 4>>,
+              "MVCC-off sharded maps must not expose snapshot()");
+
+#else  // MVCC on
+
+static_assert(lot::lo::mvcc::kEnabled);
+
+// A snapshot is an immutable cut: writes landing after the cut — erases,
+// fresh inserts, revives — never leak into the view, while the live map
+// moves on.
+TYPED_TEST(OrderedApiTest, SnapshotIsAnImmutableCut) {
+  TypeParam m;
+  for (K k = 0; k < 100; k += 2) ASSERT_TRUE(m.insert(k, k * 3));
+  const auto snap = m.snapshot();
+
+  for (K k = 0; k < 100; k += 2) ASSERT_TRUE(m.erase(k));
+  for (K k = 1; k < 100; k += 2) ASSERT_TRUE(m.insert(k, k));
+  // On the logical-removing maps this is a revive burst over the zombies
+  // the erases left behind; either way the live map changed completely.
+  for (K k = 0; k < 100; k += 4) ASSERT_TRUE(m.insert(k, k + 500));
+
+  std::vector<std::pair<K, V>> got;
+  snap.for_each([&](K k, V v) { got.emplace_back(k, v); });
+  ASSERT_EQ(got.size(), 50u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, static_cast<K>(2 * i));
+    EXPECT_EQ(got[i].second, static_cast<V>(2 * i) * 3);
+  }
+  EXPECT_TRUE(snap.contains(4));
+  EXPECT_FALSE(snap.contains(5));
+  EXPECT_EQ(snap.get(8), std::optional<V>(24));
+
+  std::vector<K> ranged;
+  snap.range(10, 20, [&](K k, V v) {
+    ranged.push_back(k);
+    EXPECT_EQ(v, k * 3);
+  });
+  EXPECT_EQ(ranged, (std::vector<K>{10, 12, 14, 16, 18}));
+
+  // The live map reflects the writes the snapshot must not.
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_EQ(m.get(0), std::optional<V>(500));
+  EXPECT_TRUE(m.contains(5));
+}
+
+// Two snapshots straddling a single write disagree by exactly that write
+// — the cut is a point, not a window.
+TYPED_TEST(OrderedApiTest, SnapshotsStraddlingOneWriteDifferByExactlyIt) {
+  TypeParam m;
+  for (K k = 0; k < 64; k += 2) ASSERT_TRUE(m.insert(k, k));
+
+  const auto s1 = m.snapshot();
+  ASSERT_TRUE(m.insert(33, 330));
+  const auto s2 = m.snapshot();
+  EXPECT_GE(s2.epoch(), s1.epoch());
+
+  std::set<K> k1, k2;
+  s1.for_each([&](K k, V) { k1.insert(k); });
+  s2.for_each([&](K k, V) { k2.insert(k); });
+  EXPECT_EQ(k1.count(33), 0u);
+  EXPECT_EQ(k2.count(33), 1u);
+  k2.erase(33);
+  EXPECT_EQ(k1, k2) << "the snapshots differ beyond the straddled write";
+
+  // Same point claim for an erase.
+  const auto s3 = m.snapshot();
+  ASSERT_TRUE(m.erase(33));
+  const auto s4 = m.snapshot();
+  EXPECT_TRUE(s3.contains(33));
+  EXPECT_FALSE(s4.contains(33));
+  std::set<K> k3, k4;
+  s3.for_each([&](K k, V) { k3.insert(k); });
+  s4.for_each([&](K k, V) { k4.insert(k); });
+  k3.erase(33);
+  EXPECT_EQ(k3, k4);
+}
+
+// The hard case (logical removing only): a snapshot taken over a zombie
+// field, then a revive burst (each revive folds the outgoing incarnation
+// into the version chain the snapshot must resolve through) and a
+// purge_all that physically unlinks nodes the cut still contains (they
+// park in limbo because the snapshot's epoch pins them). The cut must
+// come through untouched.
+TYPED_TEST(OrderedApiTest, SnapshotSurvivesReviveBurstAndPurgeAll) {
+  if constexpr (!TypeParam::kLogicalRemoving) {
+    GTEST_SKIP() << "revive/purge are logical-removing machinery";
+  } else {
+    TypeParam m;
+    for (K k = 0; k < 60; ++k) ASSERT_TRUE(m.insert(k, k));
+    for (K k = 0; k < 60; k += 3) ASSERT_TRUE(m.erase(k));  // zombies
+
+    auto snap = m.snapshot();  // cut: k % 3 != 0, value k
+
+    for (K k = 0; k < 60; k += 3) {
+      ASSERT_TRUE(m.insert(k, k + 1000));  // revive burst
+    }
+    for (K k = 1; k < 60; k += 3) ASSERT_TRUE(m.erase(k));
+    m.purge_all();  // unlink the new zombies under the pinned snapshot
+
+    std::size_t seen = 0;
+    snap.for_each([&](K k, V v) {
+      EXPECT_NE(k % 3, 0) << "revived-after-cut key leaked into the cut";
+      EXPECT_EQ(v, k) << "post-cut value leaked into the cut";
+      ++seen;
+    });
+    EXPECT_EQ(seen, 40u);
+    EXPECT_FALSE(snap.contains(0));
+    EXPECT_EQ(snap.get(1), std::optional<V>(1))
+        << "purged-under-snapshot key lost from the cut";
+    EXPECT_EQ(snap.get(2), std::optional<V>(2));
+
+    // Releasing the pin lets limbo drain on the next prune.
+    snap.release();
+    EXPECT_EQ(m.debug_active_snapshots(), 0u);
+    m.purge_all();
+    EXPECT_EQ(m.debug_limbo_size(), 0u);
+  }
+}
+
+// Composite sharded snapshot: per-shard views adopted at ONE shared epoch
+// form a single cut of the whole map. A sequential writer makes that
+// testable exactly: any single point of its history is a prefix of the
+// insertion order, so a composite snapshot whose per-shard cuts were
+// taken at different instants would show a hole.
+TEST(ShardedSnapshotTest, ComposesOneCutAcrossShards) {
+  using Sharded = lot::shard::ShardedMap<PartialAvlMap<K, V>, 4>;
+  Sharded m;
+
+  // Insertion order chosen to hop shards on every write (router blocks
+  // are 64 keys; key (i%4)*64 + i/4 routes to shard i%4).
+  std::vector<K> order;
+  for (K i = 0; i < 256; ++i) order.push_back((i % 4) * 64 + i / 4);
+
+  std::atomic<bool> go{false};
+  std::thread writer([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    for (const K k : order) {
+      ASSERT_TRUE(m.insert(k, k));
+    }
+  });
+
+  go.store(true, std::memory_order_release);
+  for (int round = 0; round < 64; ++round) {
+    const auto snap = m.snapshot();
+    std::vector<K> got;
+    snap.for_each([&](K k, V) { got.push_back(k); });
+    // The observed set must be exactly the first got.size() inserted
+    // keys — one point of the writer's history, across all four shards.
+    std::vector<K> expect(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(
+                                              got.size()));
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect)
+        << "composite snapshot is not a single cut (round " << round << ")";
+    // Point reads through the same snapshot agree with the cut.
+    if (!got.empty()) {
+      EXPECT_TRUE(snap.contains(got.front()));
+      EXPECT_EQ(snap.get(got.back()), std::optional<V>(got.back()));
+    }
+  }
+  writer.join();
+
+  // Quiescent: the finished writer's full set is one (trivial) cut.
+  const auto snap = m.snapshot();
+  std::size_t n = 0;
+  snap.for_each([&](K, V) { ++n; });
+  EXPECT_EQ(n, order.size());
+  // All four shards share the one clock the composition relies on.
+  for (unsigned i = 0; i < Sharded::shard_count(); ++i) {
+    EXPECT_EQ(&m.shard_map(i).epoch_source(), &m.epoch_source());
+  }
+}
+
+#endif  // LOT_DISABLE_MVCC
 
 }  // namespace
